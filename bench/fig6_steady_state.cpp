@@ -1,0 +1,62 @@
+// Reproduces the paper's Figure 6: throughput as a function of the number
+// of processed instances, for random graph 1 (50 tasks, CCR 0.775) on a
+// QS22 single Cell (1 PPE + 8 SPEs) under the LP mapping.
+//
+// Paper observations to match:
+//   * steady state is reached after roughly 1000 instances,
+//   * the steady-state experimental throughput is ~95 % of the throughput
+//     predicted by the linear program.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cellstream;
+  bench::print_header("fig6_steady_state",
+                      "Figure 6 (throughput vs. number of instances)");
+
+  TaskGraph graph = gen::paper_graph(0);
+  gen::set_ccr(graph, 0.775);
+  const CellPlatform platform = platforms::qs22_single_cell();
+  const SteadyStateAnalysis analysis(graph, platform);
+
+  const mapping::MilpMapperResult lp =
+      mapping::solve_optimal_mapping(analysis, bench::paper_milp_options());
+  std::printf("LP mapping solved: status=%s gap=%.3f nodes=%zu (%.1fs)\n",
+              milp::to_string(lp.status), lp.gap, lp.nodes, lp.solve_seconds);
+  std::printf("Theoretical (LP-predicted) throughput: %.2f instances/s\n\n",
+              lp.throughput);
+
+  const std::size_t instances = bench::bench_instances(10000);
+  const sim::SimResult sim =
+      sim::simulate(analysis, lp.mapping, bench::paper_sim_options(instances));
+
+  report::Series theoretical{"theoretical_inst_per_s", {}};
+  report::Series experimental{"experimental_inst_per_s", {}};
+  const std::size_t window = std::min<std::size_t>(250, instances / 10 + 1);
+  const std::size_t stride = std::max<std::size_t>(1, instances / 50);
+  for (const auto& [instance, tput] : sim.windowed_throughput(window, stride)) {
+    theoretical.points.emplace_back(static_cast<double>(instance),
+                                    lp.throughput);
+    experimental.points.emplace_back(static_cast<double>(instance), tput);
+  }
+  std::printf("%s\n",
+              report::render_series("instances", {theoretical, experimental})
+                  .c_str());
+
+  const double ratio = sim.steady_throughput / lp.throughput;
+  std::printf("steady-state experimental throughput: %.2f instances/s\n",
+              sim.steady_throughput);
+  std::printf("fraction of LP prediction: %.1f%%  (paper: ~95%%)\n",
+              100.0 * ratio);
+
+  // Startup transient length: first instance index whose windowed
+  // throughput reaches 90 % of steady state.
+  for (const auto& [instance, tput] : sim.windowed_throughput(window, 50)) {
+    if (tput >= 0.9 * sim.steady_throughput) {
+      std::printf("steady state reached after ~%zu instances (paper: ~1000)\n",
+                  instance);
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces the paper's Figure 7 (a, b, c): simulated speed-up of the
+// three evaluation graphs (CCR 0.775) on the QS22 as a function of the
+// number of SPEs used (0..8), for the LP mapping vs. the GREEDYCPU and
+// GREEDYMEM heuristics.
+//
+// Paper observations to match:
+//   * LP mappings scale with the SPE count, reaching 2-3x at 8 SPEs,
+//   * both greedy heuristics stall around <= ~1.3x,
+//   * speed-up is normalized to the PPE-only throughput.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cellstream;
+  bench::print_header("fig7_speedup",
+                      "Figure 7a-c (speed-up vs. number of SPEs, CCR 0.775)");
+
+  const std::size_t instances = bench::bench_instances(5000);
+
+  for (int graph_idx = 0; graph_idx < 3; ++graph_idx) {
+    TaskGraph graph = gen::paper_graph(graph_idx);
+    gen::set_ccr(graph, 0.775);
+    std::printf("--- %s (Figure 7%c) ---\n", graph.name().c_str(),
+                static_cast<char>('a' + graph_idx));
+
+    report::Series lp_series{"LinearProgramming", {}};
+    report::Series cpu_series{"GreedyCPU", {}};
+    report::Series mem_series{"GreedyMEM", {}};
+
+    for (std::size_t spes = 0; spes <= 8; ++spes) {
+      const CellPlatform platform = platforms::qs22_with_spes(spes);
+      const SteadyStateAnalysis analysis(graph, platform);
+
+      const Mapping greedy_cpu = mapping::greedy_cpu(analysis);
+      const Mapping greedy_mem = mapping::greedy_mem(analysis);
+      const mapping::MilpMapperResult lp = mapping::solve_optimal_mapping(
+          analysis, bench::paper_milp_options());
+
+      const double x = static_cast<double>(spes);
+      lp_series.points.emplace_back(
+          x, bench::simulated_speedup(analysis, lp.mapping, instances));
+      cpu_series.points.emplace_back(
+          x, bench::simulated_speedup(analysis, greedy_cpu, instances));
+      mem_series.points.emplace_back(
+          x, bench::simulated_speedup(analysis, greedy_mem, instances));
+      std::fflush(stdout);
+    }
+
+    std::printf("%s\n", report::render_series(
+                            "spes", {cpu_series, mem_series, lp_series}, 4)
+                            .c_str());
+    const double lp8 = lp_series.points.back().second;
+    const double best_heuristic8 = std::max(cpu_series.points.back().second,
+                                            mem_series.points.back().second);
+    std::printf("at 8 SPEs: LP %.2fx vs best heuristic %.2fx  "
+                "(paper: LP 2-3x, heuristics <= ~1.3x)\n\n",
+                lp8, best_heuristic8);
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces the paper's Figure 8: simulated speed-up of the LP mapping on
+// the QS22 with all 8 SPEs, as a function of the communication-to-
+// computation ratio, for the three evaluation graphs.
+//
+// Paper observations to match:
+//   * speed-up decreases as the CCR grows,
+//   * at high CCR the best policy degenerates to "everything on the PPE"
+//     and the speed-up approaches 1.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cellstream;
+  bench::print_header("fig8_ccr",
+                      "Figure 8 (speed-up vs. CCR, LP mapping, 8 SPEs)");
+
+  const std::size_t instances = bench::bench_instances(5000);
+  const CellPlatform platform = platforms::qs22_single_cell();
+
+  std::vector<report::Series> series;
+  for (int graph_idx = 0; graph_idx < 3; ++graph_idx) {
+    series.push_back({"RandomGraph" + std::to_string(graph_idx + 1), {}});
+  }
+
+  for (int graph_idx = 0; graph_idx < 3; ++graph_idx) {
+    for (double ccr : gen::kPaperCcrValues) {
+      TaskGraph graph = gen::paper_graph(graph_idx);
+      gen::set_ccr(graph, ccr);
+      const SteadyStateAnalysis analysis(graph, platform);
+      const mapping::MilpMapperResult lp = mapping::solve_optimal_mapping(
+          analysis, bench::paper_milp_options());
+      const double speedup =
+          bench::simulated_speedup(analysis, lp.mapping, instances);
+      series[graph_idx].points.emplace_back(ccr, speedup);
+      std::printf("graph %d ccr %-5g -> speed-up %.2f (milp %s, gap %.3f, "
+                  "%.1fs)\n",
+                  graph_idx + 1, ccr, speedup, milp::to_string(lp.status),
+                  lp.gap, lp.solve_seconds);
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf("\n%s\n", report::render_series("ccr", series, 4).c_str());
+  for (int graph_idx = 0; graph_idx < 3; ++graph_idx) {
+    const auto& pts = series[graph_idx].points;
+    std::printf("graph %d: speed-up %.2fx at CCR %g -> %.2fx at CCR %g  "
+                "(paper: decreasing toward 1)\n",
+                graph_idx + 1, pts.front().second, pts.front().first,
+                pts.back().second, pts.back().first);
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Micro-benchmarks (google-benchmark) for the simulation substrates: the
+// discrete-event engine, the max-min fair flow network, and end-to-end
+// Cell simulation throughput (simulated instances per wall second).
+
+#include <benchmark/benchmark.h>
+
+#include "des/engine.hpp"
+#include "des/flow_network.hpp"
+#include "gen/daggen.hpp"
+#include "mapping/heuristics.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace cellstream;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    des::Engine engine;
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      engine.schedule_at(static_cast<double>(i % 97), [&fired] { ++fired; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_FlowNetworkChurn(benchmark::State& state) {
+  // Repeatedly run batches of transfers through a 10-node network.
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    des::Engine engine;
+    std::vector<double> caps(10, 100.0);
+    des::FlowNetwork net(engine, caps, caps);
+    std::size_t done = 0;
+    for (std::size_t i = 0; i < batch; ++i) {
+      net.start_transfer(i % 9, 9 - (i % 5), 50.0, [&done] { ++done; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(batch) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlowNetworkChurn)->Arg(64)->Arg(512);
+
+void BM_CellSimulation(benchmark::State& state) {
+  gen::DagGenParams params;
+  params.task_count = static_cast<std::size_t>(state.range(0));
+  params.seed = 13;
+  TaskGraph graph = gen::daggen_random(params);
+  gen::set_ccr(graph, 0.775);
+  const SteadyStateAnalysis analysis(std::move(graph),
+                                     platforms::qs22_single_cell());
+  const Mapping m = mapping::greedy_cpu(analysis);
+  sim::SimOptions options;
+  options.instances = 1000;
+  for (auto _ : state) {
+    const sim::SimResult r = sim::simulate(analysis, m, options);
+    benchmark::DoNotOptimize(r.makespan);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(options.instances) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CellSimulation)->Arg(20)->Arg(50)->Arg(94)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

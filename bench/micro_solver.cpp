@@ -1,0 +1,101 @@
+// Micro-benchmarks (google-benchmark) for the optimization substrates:
+// sparse LU factor/solve, simplex LP solves, and full MILP mapping solves
+// at several graph sizes.  These guard against performance regressions in
+// the solver stack that the figure benches depend on.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/daggen.hpp"
+#include "lp/simplex.hpp"
+#include "lp/sparse_lu.hpp"
+#include "mapping/milp_mapper.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace cellstream;
+
+lp::SparseColumns random_sparse_matrix(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  lp::SparseColumns a(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    a[j].push_back({j, rng.uniform(2.0, 6.0)});
+    for (int t = 0; t < 4; ++t) {
+      const std::size_t r = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      if (r != j) a[j].push_back({r, rng.uniform(-1.0, 1.0)});
+    }
+  }
+  return a;
+}
+
+void BM_SparseLuFactor(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const lp::SparseColumns a = random_sparse_matrix(n, 42);
+  lp::SparseLu lu;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lu.factor(a));
+  }
+  state.counters["fill"] = static_cast<double>(lu.fill());
+}
+BENCHMARK(BM_SparseLuFactor)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SparseLuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const lp::SparseColumns a = random_sparse_matrix(n, 42);
+  lp::SparseLu lu;
+  if (!lu.factor(a)) state.SkipWithError("singular");
+  std::vector<double> b(n, 1.0);
+  for (auto _ : state) {
+    std::vector<double> x = b;
+    lu.solve(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_SparseLuSolve)->Arg(1024)->Arg(4096);
+
+lp::Problem mapping_lp(std::size_t tasks) {
+  gen::DagGenParams params;
+  params.task_count = tasks;
+  params.seed = tasks;
+  TaskGraph graph = gen::daggen_random(params);
+  gen::set_ccr(graph, 0.775);
+  SteadyStateAnalysis analysis(std::move(graph),
+                               platforms::qs22_single_cell());
+  return mapping::build_formulation(analysis).problem;
+}
+
+void BM_SimplexMappingRelaxation(benchmark::State& state) {
+  const lp::Problem problem = mapping_lp(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const lp::SimplexResult r = lp::solve_lp(problem);
+    if (r.status != lp::SolveStatus::kOptimal) state.SkipWithError("not optimal");
+    benchmark::DoNotOptimize(r.objective);
+  }
+  state.counters["rows"] = static_cast<double>(problem.row_count());
+  state.counters["cols"] = static_cast<double>(problem.variable_count());
+}
+BENCHMARK(BM_SimplexMappingRelaxation)->Arg(10)->Arg(25)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MilpMapping(benchmark::State& state) {
+  gen::DagGenParams params;
+  params.task_count = static_cast<std::size_t>(state.range(0));
+  params.seed = 5;
+  TaskGraph graph = gen::daggen_random(params);
+  gen::set_ccr(graph, 0.775);
+  const SteadyStateAnalysis analysis(std::move(graph),
+                                     platforms::qs22_single_cell());
+  mapping::MilpMapperOptions opts;
+  opts.milp.time_limit_seconds = 30.0;
+  for (auto _ : state) {
+    const auto r = mapping::solve_optimal_mapping(analysis, opts);
+    benchmark::DoNotOptimize(r.period);
+  }
+}
+BENCHMARK(BM_MilpMapping)->Arg(10)->Arg(25)->Arg(50)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

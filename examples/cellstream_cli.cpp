@@ -1,0 +1,168 @@
+// Command-line front end over the library — the workflow a downstream
+// user scripts against:
+//
+//   cellstream_cli generate 40 7 1.5            > app.graph
+//   cellstream_cli info     app.graph
+//   cellstream_cli solve    app.graph milp 8    > app.mapping
+//   cellstream_cli simulate app.graph app.mapping 5000
+//
+// Graphs and mappings are the library's plain-text formats (TaskGraph /
+// Mapping to_text), so artifacts are diffable and versionable.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "gen/daggen.hpp"
+#include "support/strings.hpp"
+#include "mapping/heuristics.hpp"
+#include "mapping/annealing.hpp"
+#include "mapping/local_search.hpp"
+#include "mapping/milp_mapper.hpp"
+#include "schedule/periodic_schedule.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace cellstream;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  CS_ENSURE(in.good(), "cannot open '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  cellstream_cli generate <tasks> <seed> [ccr]\n"
+               "  cellstream_cli info     <graph-file>\n"
+               "  cellstream_cli solve    <graph-file> <strategy> [spes]\n"
+               "      strategy: milp | greedy-mem | greedy-cpu | "
+               "greedy-period | local-search | round-robin | ppe-only\n"
+               "  cellstream_cli simulate <graph-file> <mapping-file> "
+               "[instances] [trace.json]\n"
+               "  cellstream_cli schedule <graph-file> <mapping-file>\n");
+  return 2;
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 4) return usage();
+  gen::DagGenParams params;
+  params.task_count = static_cast<std::size_t>(std::atoi(argv[2]));
+  params.seed = static_cast<std::uint64_t>(std::atoll(argv[3]));
+  TaskGraph graph = gen::daggen_random(params);
+  if (argc > 4) gen::set_ccr(graph, std::atof(argv[4]));
+  std::fputs(graph.to_text().c_str(), stdout);
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const TaskGraph graph = TaskGraph::from_text(read_file(argv[2]));
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_single_cell());
+  std::printf("graph:   %s\n", graph.name().c_str());
+  std::printf("tasks:   %zu (depth %zu)\n", graph.task_count(), graph.depth());
+  std::printf("edges:   %zu\n", graph.edge_count());
+  std::printf("work:    %.3f ms/instance on PPE, %.3f ms on SPEs\n",
+              graph.total_wppe() * 1e3, graph.total_wspe() * 1e3);
+  std::printf("data:    %s/instance, CCR %.3g\n",
+              format_bytes(graph.total_data_bytes()).c_str(),
+              graph.ccr(gen::kPaperOpsRate));
+  std::printf("ppe-only throughput: %.2f instances/s\n",
+              analysis.throughput(ppe_only_mapping(graph)));
+  return 0;
+}
+
+int cmd_solve(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const TaskGraph graph = TaskGraph::from_text(read_file(argv[2]));
+  const std::string strategy = argv[3];
+  const std::size_t spes =
+      argc > 4 ? static_cast<std::size_t>(std::atoi(argv[4])) : 8;
+  const CellPlatform platform = platforms::qs22_with_spes(spes);
+  const SteadyStateAnalysis analysis(graph, platform);
+
+  Mapping mapping;
+  if (strategy == "milp") {
+    const mapping::MilpMapperResult r = mapping::solve_optimal_mapping(analysis);
+    std::fprintf(stderr, "milp: %s, gap %.3f, %zu nodes, %.2fs\n",
+                 milp::to_string(r.status), r.gap, r.nodes, r.solve_seconds);
+    mapping = r.mapping;
+  } else if (strategy == "local-search") {
+    mapping = mapping::local_search_heuristic(analysis);
+  } else if (strategy == "annealing") {
+    mapping = mapping::annealing_heuristic(analysis);
+  } else {
+    mapping = mapping::run_heuristic(strategy, analysis);
+  }
+  std::fprintf(stderr, "throughput: %.2f instances/s (%s)\n",
+               analysis.throughput(mapping),
+               analysis.feasible(mapping) ? "feasible" : "INFEASIBLE");
+  std::fputs(mapping.to_text().c_str(), stdout);
+  return 0;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const TaskGraph graph = TaskGraph::from_text(read_file(argv[2]));
+  const Mapping mapping = Mapping::from_text(read_file(argv[3]));
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_single_cell());
+  sim::SimOptions options;
+  if (argc > 4) options.instances = static_cast<std::size_t>(std::atoi(argv[4]));
+  const char* trace_path = argc > 5 ? argv[5] : nullptr;
+  options.record_trace = trace_path != nullptr;
+  const sim::SimResult run = sim::simulate(analysis, mapping, options);
+  if (trace_path != nullptr) {
+    std::ofstream trace_out(trace_path);
+    CS_ENSURE(trace_out.good(), "cannot write trace file");
+    sim::write_chrome_trace(trace_out, run.trace, analysis.platform());
+    std::fprintf(stderr, "trace written to %s (open in chrome://tracing)\n",
+                 trace_path);
+  }
+  std::printf("instances:          %zu\n", options.instances);
+  std::printf("makespan:           %.3f s\n", run.makespan);
+  std::printf("steady throughput:  %.2f instances/s\n", run.steady_throughput);
+  std::printf("predicted:          %.2f instances/s (%.1f%% achieved)\n",
+              analysis.throughput(mapping),
+              100.0 * run.steady_throughput / analysis.throughput(mapping));
+  std::printf("dma transfers:      %llu\n",
+              static_cast<unsigned long long>(run.dma_transfers));
+  return 0;
+}
+
+int cmd_schedule(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const TaskGraph graph = TaskGraph::from_text(read_file(argv[2]));
+  const Mapping mapping = Mapping::from_text(read_file(argv[3]));
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_single_cell());
+  const schedule::PeriodicSchedule sched(analysis, mapping);
+  sched.validate();
+  std::fputs(sched.to_text().c_str(), stdout);
+  std::printf("\n%s", sched.to_gantt(4, 72).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "generate") return cmd_generate(argc, argv);
+    if (command == "info") return cmd_info(argc, argv);
+    if (command == "solve") return cmd_solve(argc, argv);
+    if (command == "simulate") return cmd_simulate(argc, argv);
+    if (command == "schedule") return cmd_schedule(argc, argv);
+    return usage();
+  } catch (const cellstream::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

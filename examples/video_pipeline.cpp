@@ -1,0 +1,44 @@
+// Maps the video filter/encode pipeline (the paper's motivating use case:
+// "video edition softwares, web radios or Video On Demand") and studies
+// how the achievable frame rate scales with the number of SPEs — a
+// miniature of the paper's Fig. 7 for a concrete application.
+//
+//   $ ./video_pipeline [tiles]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "gen/apps.hpp"
+#include "mapping/milp_mapper.hpp"
+#include "report/table.hpp"
+#include "sim/simulator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cellstream;
+
+  const std::size_t tiles =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 4;
+  const TaskGraph graph = gen::video_pipeline_graph(tiles);
+  std::printf("video pipeline: %zu tasks (%zu tiles), %zu edges\n",
+              graph.task_count(), tiles, graph.edge_count());
+
+  report::Table table({"spes", "predicted fps", "simulated fps", "mapping"});
+  for (std::size_t spes = 0; spes <= 8; spes += 2) {
+    const CellPlatform platform = platforms::qs22_with_spes(spes);
+    const SteadyStateAnalysis analysis(graph, platform);
+    const mapping::MilpMapperResult lp =
+        mapping::solve_optimal_mapping(analysis);
+
+    sim::SimOptions options;
+    options.instances = 1500;
+    const sim::SimResult run = sim::simulate(analysis, lp.mapping, options);
+    table.add_row({std::to_string(spes), format_number(lp.throughput, 4),
+                   format_number(run.steady_throughput, 4),
+                   lp.mapping.to_string(platform)});
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+  std::printf("note how motion estimation (peek=2, SIMD-friendly) and the "
+              "tile encoders migrate to SPEs as they become available, while "
+              "the branchy entropy coder stays on the PPE.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "core/mapping.hpp"
+
+#include <sstream>
+
+namespace cellstream {
+
+std::vector<TaskId> Mapping::tasks_on(PeId pe) const {
+  std::vector<TaskId> out;
+  for (TaskId t = 0; t < pe_of_.size(); ++t) {
+    if (pe_of_[t] == pe) out.push_back(t);
+  }
+  return out;
+}
+
+bool Mapping::is_remote(const TaskGraph& graph, EdgeId edge) const {
+  const Edge& e = graph.edge(edge);
+  return pe_of(e.from) != pe_of(e.to);
+}
+
+void Mapping::validate(const CellPlatform& platform) const {
+  for (TaskId t = 0; t < pe_of_.size(); ++t) {
+    CS_ENSURE(pe_of_[t] < platform.pe_count(),
+              "mapping: task " + std::to_string(t) + " on unknown PE");
+  }
+}
+
+std::string Mapping::to_string(const CellPlatform& platform) const {
+  std::ostringstream os;
+  for (TaskId t = 0; t < pe_of_.size(); ++t) {
+    if (t != 0) os << ' ';
+    os << 'T' << t << "->" << platform.pe_name(pe_of_[t]);
+  }
+  return os.str();
+}
+
+std::string Mapping::to_text() const {
+  std::ostringstream os;
+  os << "mapping " << pe_of_.size() << "\n";
+  for (std::size_t i = 0; i < pe_of_.size(); ++i) {
+    os << pe_of_[i] << (i + 1 == pe_of_.size() ? "\n" : " ");
+  }
+  return os.str();
+}
+
+Mapping Mapping::from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string keyword;
+  std::size_t count = 0;
+  is >> keyword >> count;
+  CS_ENSURE(!is.fail() && keyword == "mapping",
+            "Mapping::from_text: expected 'mapping <count>' header");
+  std::vector<PeId> pes(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    is >> pes[i];
+    CS_ENSURE(!is.fail(), "Mapping::from_text: truncated assignment list");
+  }
+  return Mapping(std::move(pes));
+}
+
+Mapping ppe_only_mapping(const TaskGraph& graph) {
+  return Mapping(graph.task_count(), /*initial=*/0);
+}
+
+}  // namespace cellstream

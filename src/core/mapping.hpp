@@ -1,0 +1,67 @@
+#pragma once
+// A mapping assigns every task of a streaming application to one processing
+// element of a Cell platform (paper Section 3.1).  The mapping alone
+// determines the periodic steady-state schedule and hence the throughput.
+
+#include <string>
+#include <vector>
+
+#include "core/task_graph.hpp"
+#include "platform/cell.hpp"
+
+namespace cellstream {
+
+/// Task -> PE assignment.  Immutable size (one entry per task).
+class Mapping {
+ public:
+  Mapping() = default;
+
+  /// Mapping for `task_count` tasks, all initially on PE `initial`.
+  explicit Mapping(std::size_t task_count, PeId initial = 0)
+      : pe_of_(task_count, initial) {}
+
+  /// Construct from an explicit assignment vector.
+  explicit Mapping(std::vector<PeId> pe_of) : pe_of_(std::move(pe_of)) {}
+
+  std::size_t task_count() const { return pe_of_.size(); }
+
+  PeId pe_of(TaskId task) const {
+    CS_ENSURE(task < pe_of_.size(), "pe_of: task out of range");
+    return pe_of_[task];
+  }
+
+  void assign(TaskId task, PeId pe) {
+    CS_ENSURE(task < pe_of_.size(), "assign: task out of range");
+    pe_of_[task] = pe;
+  }
+
+  /// Tasks assigned to `pe`, in task-id order.
+  std::vector<TaskId> tasks_on(PeId pe) const;
+
+  /// True if the producer and consumer of `edge` sit on different PEs, in
+  /// which case the edge is an actual data transfer.
+  bool is_remote(const TaskGraph& graph, EdgeId edge) const;
+
+  /// All PE indices referenced must be < platform.pe_count().
+  void validate(const CellPlatform& platform) const;
+
+  /// "T0->PPE0 T1->SPE2 ..." — for logs and test failure messages.
+  std::string to_string(const CellPlatform& platform) const;
+
+  /// Line-oriented serialization ("mapping <K>" then one PE index per
+  /// task); round-trips exactly.
+  std::string to_text() const;
+  static Mapping from_text(const std::string& text);
+
+  bool operator==(const Mapping& other) const = default;
+
+  const std::vector<PeId>& raw() const { return pe_of_; }
+
+ private:
+  std::vector<PeId> pe_of_;
+};
+
+/// The paper's speed-up baseline: every task on PPE0.
+Mapping ppe_only_mapping(const TaskGraph& graph);
+
+}  // namespace cellstream

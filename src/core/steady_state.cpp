@@ -1,0 +1,192 @@
+#include "core/steady_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "support/strings.hpp"
+
+namespace cellstream {
+
+std::vector<std::int64_t> compute_first_periods(const TaskGraph& graph) {
+  std::vector<std::int64_t> fp(graph.task_count(), 0);
+  for (TaskId t : graph.topological_order()) {
+    const auto& in = graph.in_edges(t);
+    if (in.empty()) {
+      fp[t] = 0;
+      continue;
+    }
+    std::int64_t latest_pred = 0;
+    for (EdgeId e : in) {
+      latest_pred = std::max(latest_pred, fp[graph.edge(e).from]);
+    }
+    fp[t] = latest_pred + graph.task(t).peek + 2;
+  }
+  return fp;
+}
+
+SteadyStateAnalysis::SteadyStateAnalysis(TaskGraph graph,
+                                         CellPlatform platform,
+                                         BufferPolicy buffer_policy)
+    : graph_(std::move(graph)),
+      platform_(std::move(platform)),
+      buffer_policy_(buffer_policy) {
+  graph_.validate();
+  platform_.validate();
+  first_periods_ = compute_first_periods(graph_);
+
+  edge_buffer_depth_.resize(graph_.edge_count());
+  edge_buffer_bytes_.resize(graph_.edge_count());
+  for (EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    const Edge& edge = graph_.edge(e);
+    const std::int64_t depth =
+        first_periods_[edge.to] - first_periods_[edge.from];
+    CS_ASSERT(depth >= 2, "buffer depth below 2 contradicts the recurrence");
+    edge_buffer_depth_[e] = depth;
+    edge_buffer_bytes_[e] = edge.data_bytes * static_cast<double>(depth);
+  }
+
+  task_buffer_bytes_.assign(graph_.task_count(), 0.0);
+  for (EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    const Edge& edge = graph_.edge(e);
+    // Both endpoints allocate the buffer (paper Section 4.2: buffers are
+    // duplicated even for co-located neighbours).
+    task_buffer_bytes_[edge.from] += edge_buffer_bytes_[e];
+    task_buffer_bytes_[edge.to] += edge_buffer_bytes_[e];
+  }
+}
+
+ResourceUsage SteadyStateAnalysis::usage(const Mapping& mapping) const {
+  CS_ENSURE(mapping.task_count() == graph_.task_count(),
+            "usage: mapping size does not match the graph");
+  mapping.validate(platform_);
+
+  const std::size_t n = platform_.pe_count();
+  ResourceUsage u;
+  u.compute_seconds.assign(n, 0.0);
+  u.incoming_bytes.assign(n, 0.0);
+  u.outgoing_bytes.assign(n, 0.0);
+  u.buffer_bytes.assign(n, 0.0);
+  u.incoming_transfers.assign(n, 0);
+  u.to_ppe_transfers.assign(n, 0);
+  u.cross_chip_out_bytes.assign(platform_.chip_count, 0.0);
+  u.cross_chip_in_bytes.assign(platform_.chip_count, 0.0);
+
+  for (TaskId t = 0; t < graph_.task_count(); ++t) {
+    const Task& task = graph_.task(t);
+    const PeId pe = mapping.pe_of(t);
+    u.compute_seconds[pe] +=
+        platform_.is_ppe(pe) ? task.wppe : task.wspe;
+    // Memory traffic crosses the hosting PE's interface (constraints 1g/1h).
+    u.incoming_bytes[pe] += task.read_bytes;
+    u.outgoing_bytes[pe] += task.write_bytes;
+    if (platform_.is_spe(pe)) {
+      u.buffer_bytes[pe] += task_buffer_bytes_[t];
+    }
+  }
+  if (buffer_policy_ == BufferPolicy::kSharedColocated) {
+    // Co-located neighbours share one buffer: remove the duplicate copy
+    // charged above (task_buffer_bytes_ counts it at both endpoints).
+    for (EdgeId e = 0; e < graph_.edge_count(); ++e) {
+      const Edge& edge = graph_.edge(e);
+      const PeId src = mapping.pe_of(edge.from);
+      if (src == mapping.pe_of(edge.to) && platform_.is_spe(src)) {
+        u.buffer_bytes[src] -= edge_buffer_bytes_[e];
+      }
+    }
+  }
+
+  for (EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    const Edge& edge = graph_.edge(e);
+    const PeId src = mapping.pe_of(edge.from);
+    const PeId dst = mapping.pe_of(edge.to);
+    if (src == dst) continue;  // co-located: no transfer
+    u.outgoing_bytes[src] += edge.data_bytes;
+    u.incoming_bytes[dst] += edge.data_bytes;
+    u.incoming_transfers[dst] += 1;
+    if (platform_.is_spe(src) && platform_.is_ppe(dst)) {
+      // SPE -> PPE transfers go through the SPE's 8-deep proxy DMA stack.
+      u.to_ppe_transfers[src] += 1;
+    }
+    if (platform_.crosses_chips(src, dst)) {
+      u.cross_chip_out_bytes[platform_.chip_of(src)] += edge.data_bytes;
+      u.cross_chip_in_bytes[platform_.chip_of(dst)] += edge.data_bytes;
+    }
+  }
+
+  const double bw = platform_.interface_bandwidth;
+  u.period = 0.0;
+  for (PeId pe = 0; pe < n; ++pe) {
+    struct Candidate {
+      double value;
+      const char* what;
+    };
+    const Candidate candidates[] = {
+        {u.compute_seconds[pe], "compute"},
+        {u.incoming_bytes[pe] / bw, "incoming"},
+        {u.outgoing_bytes[pe] / bw, "outgoing"},
+    };
+    for (const Candidate& c : candidates) {
+      if (c.value > u.period) {
+        u.period = c.value;
+        u.bottleneck = platform_.pe_name(pe) + " " + c.what;
+      }
+    }
+  }
+  for (std::size_t chip = 0; chip < platform_.chip_count; ++chip) {
+    const double xbw = platform_.cross_chip_bandwidth;
+    const double out_time = u.cross_chip_out_bytes[chip] / xbw;
+    const double in_time = u.cross_chip_in_bytes[chip] / xbw;
+    if (out_time > u.period) {
+      u.period = out_time;
+      u.bottleneck = "chip" + std::to_string(chip) + " link out";
+    }
+    if (in_time > u.period) {
+      u.period = in_time;
+      u.bottleneck = "chip" + std::to_string(chip) + " link in";
+    }
+  }
+  return u;
+}
+
+double SteadyStateAnalysis::throughput(const Mapping& mapping) const {
+  const double t = period(mapping);
+  if (t <= 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / t;
+}
+
+std::vector<std::string> SteadyStateAnalysis::violations(
+    const Mapping& mapping) const {
+  const ResourceUsage u = usage(mapping);
+  std::vector<std::string> out;
+  const double budget = static_cast<double>(platform_.buffer_budget());
+  for (PeId pe = 0; pe < platform_.pe_count(); ++pe) {
+    if (!platform_.is_spe(pe)) continue;
+    if (u.buffer_bytes[pe] > budget) {
+      std::ostringstream os;
+      os << platform_.pe_name(pe) << ": buffers "
+         << format_bytes(u.buffer_bytes[pe]) << " exceed local-store budget "
+         << format_bytes(budget);
+      out.push_back(os.str());
+    }
+    if (u.incoming_transfers[pe] > platform_.spe_dma_slots) {
+      std::ostringstream os;
+      os << platform_.pe_name(pe) << ": " << u.incoming_transfers[pe]
+         << " incoming transfers exceed " << platform_.spe_dma_slots
+         << " DMA slots";
+      out.push_back(os.str());
+    }
+    if (u.to_ppe_transfers[pe] > platform_.ppe_to_spe_dma_slots) {
+      std::ostringstream os;
+      os << platform_.pe_name(pe) << ": " << u.to_ppe_transfers[pe]
+         << " transfers to PPEs exceed " << platform_.ppe_to_spe_dma_slots
+         << " proxy DMA slots";
+      out.push_back(os.str());
+    }
+  }
+  return out;
+}
+
+}  // namespace cellstream

@@ -1,0 +1,63 @@
+#include "des/engine.hpp"
+
+#include <utility>
+
+namespace cellstream::des {
+
+EventId Engine::schedule_at(Time at, std::function<void()> action) {
+  CS_ENSURE(at >= now_, "schedule_at: event in the past");
+  CS_ENSURE(action != nullptr, "schedule_at: null action");
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, id});
+  actions_.emplace(id, std::move(action));
+  ++pending_;
+  return id;
+}
+
+void Engine::cancel(EventId id) {
+  if (actions_.erase(id) > 0) --pending_;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    auto it = actions_.find(entry.id);
+    if (it == actions_.end()) {
+      queue_.pop();  // tombstone
+      continue;
+    }
+    queue_.pop();
+    CS_ASSERT(entry.at >= now_, "event queue went backwards");
+    now_ = entry.at;
+    // Move the action out before invoking: the action may schedule or
+    // cancel other events (rehashing actions_).
+    std::function<void()> action = std::move(it->second);
+    actions_.erase(it);
+    --pending_;
+    ++executed_;
+    action();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(Time until) {
+  CS_ENSURE(until >= now_, "run_until: target in the past");
+  while (!queue_.empty()) {
+    // Skip tombstones to see the true next event time.
+    if (actions_.find(queue_.top().id) == actions_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().at > until) break;
+    step();
+  }
+  now_ = std::max(now_, until);
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace cellstream::des

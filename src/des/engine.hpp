@@ -1,0 +1,74 @@
+#pragma once
+// Minimal discrete-event simulation engine.
+//
+// Time is a double in seconds.  Events are closures ordered by (time,
+// insertion sequence) so simultaneous events fire deterministically in
+// scheduling order.  Cancellation is by tombstone: cancelled events stay
+// in the heap but are skipped when popped.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace cellstream::des {
+
+using Time = double;
+using EventId = std::uint64_t;
+
+class Engine {
+ public:
+  Time now() const { return now_; }
+
+  /// Schedule `action` at absolute time `at` (>= now); returns a handle
+  /// usable with cancel().
+  EventId schedule_at(Time at, std::function<void()> action);
+
+  /// Schedule `action` after a non-negative delay.
+  EventId schedule_in(Time delay, std::function<void()> action) {
+    CS_ENSURE(delay >= 0.0, "schedule_in: negative delay");
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Cancel a pending event; cancelling an already-fired or unknown id is
+  /// a no-op.
+  void cancel(EventId id);
+
+  /// Run until the queue drains or `until` is passed (events strictly
+  /// after `until` remain queued; now() advances to at most `until`).
+  void run_until(Time until);
+
+  /// Run until the queue is completely drained.
+  void run();
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return pending_; }
+
+  /// Total events executed so far.
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;
+    bool operator>(const Entry& other) const {
+      if (at != other.at) return at > other.at;
+      return id > other.id;
+    }
+  };
+
+  bool step();  // execute one event; false if queue empty
+
+  Time now_ = 0.0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  // Actions keyed by id; erased on execution/cancellation (tombstoning).
+  std::unordered_map<EventId, std::function<void()>> actions_;
+  std::size_t pending_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace cellstream::des

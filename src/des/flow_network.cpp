@@ -1,0 +1,200 @@
+#include "des/flow_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace cellstream::des {
+
+namespace {
+// Relative slack below which a transfer counts as finished (absorbs the
+// floating-point drift of repeated progress updates).
+constexpr double kFinishSlack = 1e-9;
+}  // namespace
+
+FlowNetwork::FlowNetwork(Engine& engine, std::vector<double> out_capacity,
+                         std::vector<double> in_capacity)
+    : engine_(&engine) {
+  CS_ENSURE(out_capacity.size() == in_capacity.size(),
+            "FlowNetwork: capacity vectors differ in size");
+  node_count_ = out_capacity.size();
+  capacity_.reserve(2 * node_count_);
+  for (double c : out_capacity) {
+    CS_ENSURE(c > 0.0, "FlowNetwork: non-positive port capacity");
+    capacity_.push_back(c);
+  }
+  for (double c : in_capacity) {
+    CS_ENSURE(c > 0.0, "FlowNetwork: non-positive port capacity");
+    capacity_.push_back(c);
+  }
+  last_progress_ = engine.now();
+}
+
+ResourceId FlowNetwork::add_resource(double capacity) {
+  CS_ENSURE(capacity > 0.0, "add_resource: non-positive capacity");
+  capacity_.push_back(capacity);
+  return capacity_.size() - 1;
+}
+
+ResourceId FlowNetwork::out_port(NodeId node) const {
+  CS_ENSURE(node < node_count_, "out_port: unknown node");
+  return node;
+}
+
+ResourceId FlowNetwork::in_port(NodeId node) const {
+  CS_ENSURE(node < node_count_, "in_port: unknown node");
+  return node_count_ + node;
+}
+
+TransferId FlowNetwork::start_transfer(NodeId src, NodeId dst, double bytes,
+                                       std::function<void()> on_complete) {
+  CS_ENSURE(src < node_count_ && dst < node_count_,
+            "start_transfer: unknown node");
+  CS_ENSURE(src != dst, "start_transfer: src == dst needs no transfer");
+  return start_transfer_over({out_port(src), in_port(dst)}, bytes,
+                             std::move(on_complete));
+}
+
+TransferId FlowNetwork::start_transfer_over(
+    std::vector<ResourceId> resources, double bytes,
+    std::function<void()> on_complete) {
+  CS_ENSURE(bytes >= 0.0, "start_transfer: negative size");
+  for (ResourceId r : resources) {
+    CS_ENSURE(r < capacity_.size(), "start_transfer: unknown resource");
+  }
+  advance_progress();
+  const TransferId id = next_id_++;
+  flows_.emplace(
+      id, Flow{std::move(resources), bytes, 0.0, std::move(on_complete)});
+  recompute_rates();
+  schedule_completion();
+  return id;
+}
+
+double FlowNetwork::current_rate(TransferId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+double FlowNetwork::remaining_bytes(TransferId id) const {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return 0.0;
+  // Account progress since the last rate change without mutating state.
+  const double elapsed = engine_->now() - last_progress_;
+  return std::max(0.0, it->second.remaining - it->second.rate * elapsed);
+}
+
+void FlowNetwork::advance_progress() {
+  const double elapsed = engine_->now() - last_progress_;
+  if (elapsed > 0.0) {
+    for (auto& [id, flow] : flows_) {
+      if (flow.rate > 0.0 && std::isfinite(flow.rate)) {
+        flow.remaining = std::max(0.0, flow.remaining - flow.rate * elapsed);
+      }
+    }
+  }
+  last_progress_ = engine_->now();
+}
+
+void FlowNetwork::recompute_rates() {
+  // Progressive filling: repeatedly saturate the resource with the
+  // smallest fair share and freeze its flows at that rate.
+  std::vector<double> left = capacity_;
+  std::vector<std::size_t> count(capacity_.size(), 0);
+  std::vector<Flow*> open;
+  open.reserve(flows_.size());
+  for (auto& [id, flow] : flows_) {
+    for (ResourceId r : flow.resources) ++count[r];
+    open.push_back(&flow);
+  }
+
+  while (!open.empty()) {
+    double fair = FlowNetwork::infinity();
+    for (ResourceId r = 0; r < capacity_.size(); ++r) {
+      if (count[r] > 0 && std::isfinite(left[r])) {
+        fair = std::min(fair, left[r] / static_cast<double>(count[r]));
+      }
+    }
+    if (!std::isfinite(fair)) {
+      // Only infinite resources remain: those flows complete immediately.
+      for (Flow* flow : open) flow->rate = FlowNetwork::infinity();
+      break;
+    }
+    // Freeze every flow touching a resource now saturated at `fair`.
+    std::vector<Flow*> still_open;
+    bool froze_any = false;
+    for (Flow* flow : open) {
+      bool tight = false;
+      for (ResourceId r : flow->resources) {
+        if (std::isfinite(left[r]) &&
+            left[r] / static_cast<double>(count[r]) <= fair * (1.0 + 1e-12)) {
+          tight = true;
+          break;
+        }
+      }
+      if (tight) {
+        flow->rate = fair;
+        for (ResourceId r : flow->resources) {
+          left[r] -= fair;
+          --count[r];
+        }
+        froze_any = true;
+      } else {
+        still_open.push_back(flow);
+      }
+    }
+    CS_ASSERT(froze_any, "progressive filling made no progress");
+    open.swap(still_open);
+  }
+}
+
+void FlowNetwork::schedule_completion() {
+  if (completion_pending_) {
+    engine_->cancel(completion_event_);
+    completion_pending_ = false;
+  }
+  if (flows_.empty()) return;
+  double dt = FlowNetwork::infinity();
+  for (const auto& [id, flow] : flows_) {
+    if (flow.remaining <= kFinishSlack) {
+      dt = 0.0;
+      break;
+    }
+    if (flow.rate > 0.0) {
+      dt = std::min(dt, std::isfinite(flow.rate) ? flow.remaining / flow.rate
+                                                 : 0.0);
+    }
+  }
+  CS_ASSERT(std::isfinite(dt), "active transfer with zero rate");
+  completion_event_ =
+      engine_->schedule_in(dt, [this] { on_completion_event(); });
+  completion_pending_ = true;
+}
+
+void FlowNetwork::on_completion_event() {
+  completion_pending_ = false;
+  advance_progress();
+  // Collect finished flows first: callbacks may start new transfers.
+  std::vector<std::function<void()>> callbacks;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    Flow& flow = it->second;
+    const bool done =
+        flow.remaining <= kFinishSlack ||
+        (std::isfinite(flow.rate) && flow.rate > 0.0 &&
+         flow.remaining / flow.rate <= kFinishSlack) ||
+        !std::isfinite(flow.rate);
+    if (done) {
+      callbacks.push_back(std::move(flow.on_complete));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  recompute_rates();
+  schedule_completion();
+  for (auto& callback : callbacks) {
+    if (callback) callback();
+  }
+}
+
+}  // namespace cellstream::des

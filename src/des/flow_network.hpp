@@ -1,0 +1,92 @@
+#pragma once
+// Flow-level model of the bounded-multiport communication model
+// (paper Section 2.1), generalized to arbitrary shared resources.
+//
+// Every node has an outgoing and an incoming port with fixed capacity in
+// bytes/s (infinite for main memory: the Cell's memory controller is not
+// the bottleneck in the paper's model — only the PE interfaces are).
+// Additional resources (e.g. the cross-chip BIF link of a dual-Cell QS22)
+// can be registered and attached to transfers.  Concurrent transfers
+// share every resource they touch max-min fairly, the fluid analogue of
+// "all communications of a period happen simultaneously as long as
+// average bandwidth per interface is respected".  Rates are recomputed
+// whenever a transfer starts or finishes.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "des/engine.hpp"
+
+namespace cellstream::des {
+
+using TransferId = std::uint64_t;
+using NodeId = std::size_t;
+using ResourceId = std::size_t;
+
+class FlowNetwork {
+ public:
+  /// `out_capacity[i]` / `in_capacity[i]` are node i's port bandwidths in
+  /// bytes/s; use infinity() for unconstrained ports.
+  FlowNetwork(Engine& engine, std::vector<double> out_capacity,
+              std::vector<double> in_capacity);
+
+  static double infinity() { return std::numeric_limits<double>::infinity(); }
+
+  std::size_t node_count() const { return node_count_; }
+
+  /// Register an extra shared resource (a link); returns its id for use
+  /// with the resource-list start_transfer overload.
+  ResourceId add_resource(double capacity);
+
+  /// The out/in port resource ids of a node (for composing resource
+  /// lists).
+  ResourceId out_port(NodeId node) const;
+  ResourceId in_port(NodeId node) const;
+
+  /// Begin moving `bytes` from `src` to `dst`; `on_complete` fires (via
+  /// the engine) when the last byte arrives.  Zero-byte transfers complete
+  /// at the current time (still asynchronously).
+  TransferId start_transfer(NodeId src, NodeId dst, double bytes,
+                            std::function<void()> on_complete);
+
+  /// Begin a transfer constrained by an explicit set of resources (e.g.
+  /// {out_port(src), cross_chip_link, in_port(dst)}).
+  TransferId start_transfer_over(std::vector<ResourceId> resources,
+                                 double bytes,
+                                 std::function<void()> on_complete);
+
+  std::size_t active_transfers() const { return flows_.size(); }
+
+  /// Current fair-share rate of a transfer (bytes/s); 0 if unknown id.
+  double current_rate(TransferId id) const;
+
+  /// Bytes still in flight for a transfer; 0 if unknown id.
+  double remaining_bytes(TransferId id) const;
+
+ private:
+  struct Flow {
+    std::vector<ResourceId> resources;
+    double remaining;
+    double rate = 0.0;
+    std::function<void()> on_complete;
+  };
+
+  void advance_progress();   // apply elapsed time at current rates
+  void recompute_rates();    // max-min fair allocation
+  void schedule_completion();
+  void on_completion_event();
+
+  Engine* engine_;
+  std::size_t node_count_ = 0;
+  std::vector<double> capacity_;  // per resource
+  std::unordered_map<TransferId, Flow> flows_;
+  TransferId next_id_ = 1;
+  Time last_progress_ = 0.0;
+  EventId completion_event_ = 0;
+  bool completion_pending_ = false;
+};
+
+}  // namespace cellstream::des

@@ -1,0 +1,117 @@
+#include "gen/apps.hpp"
+
+#include <string>
+
+namespace cellstream::gen {
+
+namespace {
+
+Task make(const std::string& name, double wppe_ms, double spe_speedup,
+          int peek = 0, bool stateful = false) {
+  Task t;
+  t.name = name;
+  t.wppe = wppe_ms * 1e-3;
+  t.wspe = t.wppe / spe_speedup;
+  t.peek = peek;
+  t.stateful = stateful;
+  return t;
+}
+
+}  // namespace
+
+TaskGraph audio_encoder_graph(std::size_t subband_groups) {
+  CS_ENSURE(subband_groups >= 1 && subband_groups <= 32,
+            "audio_encoder_graph: 1..32 subband groups");
+  TaskGraph g("audio_encoder");
+
+  // One frame: 1152 samples * 2 channels * 2 bytes = 4608 bytes.
+  constexpr double kFrameBytes = 1152.0 * 2 * 2;
+
+  // Framing is pointer chasing and I/O — faster on the PPE.
+  const TaskId reader = g.add_task(make("frame_reader", 0.05, 0.4, 0, true));
+  g.task(reader).read_bytes = kFrameBytes;
+
+  // Windowing + FFT-ish analysis: SIMD heaven.
+  const TaskId window = g.add_task(make("analysis_window", 0.6, 5.0));
+  g.add_edge(reader, window, kFrameBytes);
+
+  // Psychoacoustic model peeks one frame ahead (bit-reservoir lookahead).
+  const TaskId psycho = g.add_task(make("psychoacoustic", 1.2, 3.0, 1));
+  g.add_edge(window, psycho, kFrameBytes);
+
+  // Polyphase filterbank, split into SIMD-friendly groups.
+  std::vector<TaskId> filters, quantizers;
+  const double group_bytes = kFrameBytes / static_cast<double>(subband_groups);
+  for (std::size_t i = 0; i < subband_groups; ++i) {
+    const TaskId filt = g.add_task(
+        make("filterbank_" + std::to_string(i), 0.8, 6.0));
+    g.add_edge(window, filt, group_bytes);
+    filters.push_back(filt);
+  }
+
+  // Bit allocation consumes the psychoacoustic masks and subband energies.
+  const TaskId bitalloc = g.add_task(make("bit_alloc", 0.5, 1.2, 0, true));
+  g.add_edge(psycho, bitalloc, 512.0);
+  for (TaskId filt : filters) g.add_edge(filt, bitalloc, 128.0);
+
+  // Quantization per group (needs both the samples and the allocation).
+  for (std::size_t i = 0; i < subband_groups; ++i) {
+    const TaskId quant = g.add_task(
+        make("quantize_" + std::to_string(i), 0.4, 4.0));
+    g.add_edge(filters[i], quant, group_bytes);
+    g.add_edge(bitalloc, quant, 64.0);
+    quantizers.push_back(quant);
+  }
+
+  // Bitstream packing is branchy bit twiddling — better on the PPE.
+  const TaskId pack = g.add_task(make("bitstream_pack", 0.7, 0.5, 0, true));
+  for (TaskId quant : quantizers) {
+    g.add_edge(quant, pack, group_bytes / 4.0);  // ~4:1 compression
+  }
+  g.task(pack).write_bytes = kFrameBytes / 4.0;
+
+  g.validate();
+  return g;
+}
+
+TaskGraph video_pipeline_graph(std::size_t tiles) {
+  CS_ENSURE(tiles >= 1 && tiles <= 16, "video_pipeline_graph: 1..16 tiles");
+  TaskGraph g("video_pipeline");
+
+  // One frame: 320x240 YUV420 = 115200 bytes.
+  constexpr double kFrameBytes = 320.0 * 240.0 * 1.5;
+  const double tile_bytes = kFrameBytes / static_cast<double>(tiles);
+
+  const TaskId capture = g.add_task(make("capture", 0.2, 0.8, 0, true));
+  g.task(capture).read_bytes = kFrameBytes;
+
+  const TaskId denoise = g.add_task(make("denoise", 2.5, 6.0));
+  g.add_edge(capture, denoise, kFrameBytes);
+
+  // Motion estimation compares against two future frames (peek 2).
+  const TaskId motion = g.add_task(make("motion_estimation", 4.0, 5.0, 2));
+  g.add_edge(denoise, motion, kFrameBytes);
+
+  std::vector<TaskId> encoders;
+  for (std::size_t i = 0; i < tiles; ++i) {
+    const TaskId enc = g.add_task(
+        make("tile_encode_" + std::to_string(i), 1.5, 5.5));
+    g.add_edge(denoise, enc, tile_bytes);
+    g.add_edge(motion, enc, 1024.0);  // motion vectors
+    encoders.push_back(enc);
+  }
+
+  const TaskId entropy = g.add_task(make("entropy_coder", 1.8, 0.6, 0, true));
+  for (TaskId enc : encoders) {
+    g.add_edge(enc, entropy, tile_bytes / 8.0);
+  }
+
+  const TaskId mux = g.add_task(make("muxer", 0.3, 0.5, 0, true));
+  g.add_edge(entropy, mux, kFrameBytes / 8.0);
+  g.task(mux).write_bytes = kFrameBytes / 8.0;
+
+  g.validate();
+  return g;
+}
+
+}  // namespace cellstream::gen

@@ -1,0 +1,27 @@
+#pragma once
+// Hand-built realistic streaming applications.
+//
+// The paper's evaluation mentions "a real audio encoder" among the mapped
+// applications; the original binary is unavailable, so audio_encoder_graph
+// reconstructs an MPEG-1 Layer II-style subband encoder as a task graph
+// with costs in the same ballpark (see DESIGN.md, substitution table).
+// video_pipeline_graph models the motivating video-filter use case of the
+// paper's introduction (peek > 0 models inter-frame prediction).
+
+#include "core/task_graph.hpp"
+
+namespace cellstream::gen {
+
+/// MP2-style audio encoder: frame reader -> analysis window -> polyphase
+/// filterbank (grouped into `subband_groups` SIMD-friendly tasks) ->
+/// psychoacoustic model (peeks one frame ahead) -> bit allocation ->
+/// per-group quantizers -> bitstream packer.  One instance = one audio
+/// frame (1152 samples, 16-bit stereo).
+TaskGraph audio_encoder_graph(std::size_t subband_groups = 8);
+
+/// Video filter/encode pipeline: capture -> denoise -> motion estimation
+/// (peek 2 frames) -> `tiles` parallel tile encoders -> entropy coder ->
+/// muxer.  One instance = one 320x240 YUV420 frame.
+TaskGraph video_pipeline_graph(std::size_t tiles = 4);
+
+}  // namespace cellstream::gen

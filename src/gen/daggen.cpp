@@ -1,0 +1,232 @@
+#include "gen/daggen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace cellstream::gen {
+
+namespace {
+
+Task random_task(const DagGenParams& params, Rng& rng) {
+  Task t;
+  t.wppe = rng.uniform(params.wppe_min, params.wppe_max);
+  const double speedup =
+      rng.uniform(params.spe_speedup_min, params.spe_speedup_max);
+  t.wspe = t.wppe / speedup;
+  const double peek_draw = rng.uniform();
+  if (peek_draw < params.peek2_probability) {
+    t.peek = 2;
+  } else if (peek_draw < params.peek2_probability + params.peek1_probability) {
+    t.peek = 1;
+  }
+  t.stateful = rng.bernoulli(params.stateful_probability);
+  return t;
+}
+
+double random_data(const DagGenParams& params, Rng& rng) {
+  return rng.uniform(params.data_min, params.data_max);
+}
+
+void add_stream_io(TaskGraph& graph, const DagGenParams& params) {
+  for (TaskId t : graph.sources()) graph.task(t).read_bytes = params.io_bytes;
+  for (TaskId t : graph.sinks()) graph.task(t).write_bytes = params.io_bytes;
+}
+
+}  // namespace
+
+TaskGraph daggen_random(const DagGenParams& params) {
+  CS_ENSURE(params.task_count >= 1, "daggen: empty graph requested");
+  CS_ENSURE(params.fat >= 0.0 && params.fat <= 1.0, "daggen: fat not in [0,1]");
+  Rng rng(params.seed);
+  TaskGraph graph("daggen_" + std::to_string(params.task_count) + "_s" +
+                  std::to_string(params.seed));
+
+  // Layer structure: `fat` interpolates between a chain (depth = n) and a
+  // two-level graph.  Mean width = 1 + fat * (sqrt(n) * 2 - 1).
+  const double n = static_cast<double>(params.task_count);
+  const double mean_width =
+      1.0 + params.fat * (2.0 * std::sqrt(n) - 1.0);
+  std::vector<std::size_t> layer_of;  // per task
+  std::vector<std::vector<TaskId>> layers;
+  std::size_t created = 0;
+  while (created < params.task_count) {
+    const double spread = (1.0 - params.regularity) * mean_width;
+    double w = mean_width + rng.uniform(-spread, spread);
+    std::size_t width = static_cast<std::size_t>(std::max(1.0, std::round(w)));
+    width = std::min(width, params.task_count - created);
+    layers.emplace_back();
+    for (std::size_t i = 0; i < width; ++i) {
+      const TaskId id = graph.add_task(random_task(params, rng));
+      layers.back().push_back(id);
+      layer_of.push_back(layers.size() - 1);
+      ++created;
+    }
+  }
+
+  // Mandatory connectivity: every non-first-layer task gets one parent in
+  // the previous layer; every non-last-layer task gets at least one child.
+  std::vector<bool> has_child(params.task_count, false);
+  for (std::size_t l = 1; l < layers.size(); ++l) {
+    for (TaskId task : layers[l]) {
+      const auto& prev = layers[l - 1];
+      const TaskId parent = prev[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(prev.size()) - 1))];
+      graph.add_edge(parent, task, random_data(params, rng));
+      has_child[parent] = true;
+    }
+  }
+  for (std::size_t l = 0; l + 1 < layers.size(); ++l) {
+    for (TaskId task : layers[l]) {
+      if (has_child[task]) continue;
+      const auto& next = layers[l + 1];
+      const TaskId child = next[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(next.size()) - 1))];
+      // A duplicate is possible only if `task` already had a child.
+      graph.add_edge(task, child, random_data(params, rng));
+      has_child[task] = true;
+    }
+  }
+
+  // Extra edges: forward jumps of up to `jump` layers, gated by density.
+  for (std::size_t l = 0; l + 1 < layers.size(); ++l) {
+    for (TaskId from : layers[l]) {
+      const std::size_t max_target =
+          std::min(layers.size() - 1, l + std::max<std::size_t>(params.jump, 1));
+      for (std::size_t lt = l + 1; lt <= max_target; ++lt) {
+        for (TaskId to : layers[lt]) {
+          if (!rng.bernoulli(params.density / mean_width)) continue;
+          bool duplicate = false;
+          for (EdgeId e : graph.out_edges(from)) {
+            if (graph.edge(e).to == to) {
+              duplicate = true;
+              break;
+            }
+          }
+          if (!duplicate) graph.add_edge(from, to, random_data(params, rng));
+        }
+      }
+    }
+  }
+
+  add_stream_io(graph, params);
+  graph.validate();
+  return graph;
+}
+
+TaskGraph chain_graph(std::size_t task_count, const DagGenParams& params) {
+  CS_ENSURE(task_count >= 1, "chain_graph: empty chain");
+  Rng rng(params.seed);
+  TaskGraph graph("chain_" + std::to_string(task_count));
+  for (std::size_t i = 0; i < task_count; ++i) {
+    graph.add_task(random_task(params, rng));
+  }
+  for (std::size_t i = 0; i + 1 < task_count; ++i) {
+    graph.add_edge(i, i + 1, random_data(params, rng));
+  }
+  add_stream_io(graph, params);
+  graph.validate();
+  return graph;
+}
+
+TaskGraph fork_join_graph(std::size_t width, std::size_t branch_length,
+                          const DagGenParams& params) {
+  CS_ENSURE(width >= 1 && branch_length >= 1, "fork_join_graph: bad shape");
+  Rng rng(params.seed);
+  TaskGraph graph("forkjoin_" + std::to_string(width) + "x" +
+                  std::to_string(branch_length));
+  const TaskId source = graph.add_task(random_task(params, rng));
+  std::vector<TaskId> tails;
+  for (std::size_t b = 0; b < width; ++b) {
+    TaskId prev = source;
+    for (std::size_t i = 0; i < branch_length; ++i) {
+      const TaskId t = graph.add_task(random_task(params, rng));
+      graph.add_edge(prev, t, random_data(params, rng));
+      prev = t;
+    }
+    tails.push_back(prev);
+  }
+  const TaskId sink = graph.add_task(random_task(params, rng));
+  for (TaskId tail : tails) {
+    graph.add_edge(tail, sink, random_data(params, rng));
+  }
+  add_stream_io(graph, params);
+  graph.validate();
+  return graph;
+}
+
+TaskGraph diamond_graph(std::size_t levels, const DagGenParams& params) {
+  CS_ENSURE(levels >= 1 && levels % 2 == 1,
+            "diamond_graph: levels must be odd (1, 3, 5, ...)");
+  Rng rng(params.seed);
+  TaskGraph graph("diamond_" + std::to_string(levels));
+  const std::size_t peak = levels / 2;  // widths 1..peak+1..1
+  std::vector<std::vector<TaskId>> rows;
+  for (std::size_t l = 0; l < levels; ++l) {
+    const std::size_t width = 1 + (l <= peak ? l : levels - 1 - l);
+    rows.emplace_back();
+    for (std::size_t i = 0; i < width; ++i) {
+      rows.back().push_back(graph.add_task(random_task(params, rng)));
+    }
+  }
+  for (std::size_t l = 0; l + 1 < levels; ++l) {
+    const auto& from = rows[l];
+    const auto& to = rows[l + 1];
+    for (std::size_t i = 0; i < from.size(); ++i) {
+      if (to.size() > from.size()) {
+        // Widening: from[i] splits into to[i] and to[i+1].
+        graph.add_edge(from[i], to[i], random_data(params, rng));
+        graph.add_edge(from[i], to[i + 1], random_data(params, rng));
+      } else {
+        // Narrowing: from[i] merges into to[i-1] and to[i] (clamped).
+        const std::size_t lo_j = i == 0 ? 0 : i - 1;
+        const std::size_t hi_j = std::min(i, to.size() - 1);
+        for (std::size_t j = std::min(lo_j, hi_j); j <= hi_j; ++j) {
+          graph.add_edge(from[i], to[j], random_data(params, rng));
+        }
+      }
+    }
+  }
+  add_stream_io(graph, params);
+  graph.validate();
+  return graph;
+}
+
+TaskGraph paper_graph(int index) {
+  DagGenParams params;
+  switch (index) {
+    case 0: {  // random graph 1: 50 tasks, narrow and deep
+      params.task_count = 50;
+      params.fat = 0.15;
+      params.density = 0.3;
+      params.seed = 101;
+      TaskGraph g = daggen_random(params);
+      g.set_name("paper_graph1");
+      return g;
+    }
+    case 1: {  // random graph 2: 94 tasks, wider
+      params.task_count = 94;
+      params.fat = 0.35;
+      params.density = 0.25;
+      params.jump = 2;
+      params.seed = 202;
+      TaskGraph g = daggen_random(params);
+      g.set_name("paper_graph2");
+      return g;
+    }
+    case 2: {  // random graph 3: simple chain with 50 tasks
+      params.seed = 303;
+      TaskGraph g = chain_graph(50, params);
+      g.set_name("paper_graph3");
+      return g;
+    }
+    default:
+      throw Error("paper_graph: index must be 0, 1 or 2");
+  }
+}
+
+void set_ccr(TaskGraph& graph, double target, double ops_rate) {
+  graph.scale_to_ccr(target, ops_rate);
+}
+
+}  // namespace cellstream::gen

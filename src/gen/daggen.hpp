@@ -1,0 +1,96 @@
+#pragma once
+// Random streaming-application generator in the style of DagGen (Suter),
+// which the paper uses for its three evaluation graphs (Section 6.2), plus
+// deterministic generators for classic shapes.
+//
+// The generator is layered: `fat` controls the width/depth trade-off,
+// `regularity` the variation of layer widths, `density` the number of
+// extra inter-layer edges and `jump` how many layers an edge may skip.
+// Costs follow the unrelated-machine model: every task draws a PPE cost
+// and an independent SPE speedup factor (SIMD-friendly tasks are several
+// times faster on a SPE, control-heavy tasks slower).
+
+#include <cstdint>
+
+#include "core/task_graph.hpp"
+#include "support/rng.hpp"
+
+namespace cellstream::gen {
+
+struct DagGenParams {
+  std::size_t task_count = 50;
+  double fat = 0.4;         ///< 0: chain-like; 1: maximally wide.
+  double regularity = 0.7;  ///< 1: equal layer widths; 0: erratic widths.
+  double density = 0.4;     ///< Probability scale for extra edges.
+  std::size_t jump = 2;     ///< Max layers skipped by an edge.
+
+  // Cost model (seconds / bytes, paper-scale: a 50-task graph on the PPE
+  // alone runs at a few tens of instances per second).
+  double wppe_min = 0.2e-3;
+  double wppe_max = 2.0e-3;
+  // SPEs are several times faster on SIMD-friendly tasks and slower on
+  // control-heavy ones (the unrelated-machine model).  The wide spread is
+  // what separates the mapping strategies: a scheduler that ignores *which*
+  // tasks are SPE-friendly (the greedy heuristics) pays up to ~3x per
+  // misplaced task, while the LP optimizes the assignment; whole-graph
+  // speed-ups then land in the paper's 2-3x band with 8 SPEs.
+  double spe_speedup_min = 0.3;  ///< wspe = wppe / speedup.
+  double spe_speedup_max = 3.0;
+  double data_min = 2.0 * 1024;  ///< Edge payload bytes per instance.
+  double data_max = 16.0 * 1024;
+
+  double peek1_probability = 0.3;  ///< P(peek = 1).
+  double peek2_probability = 0.1;  ///< P(peek = 2).
+  double stateful_probability = 0.25;
+
+  /// Sources read / sinks write this many bytes per instance from/to main
+  /// memory (the stream enters and leaves the Cell through memory).
+  double io_bytes = 4.0 * 1024;
+
+  std::uint64_t seed = 1;
+};
+
+/// Generate a random layered DAG; validated before returning.
+TaskGraph daggen_random(const DagGenParams& params);
+
+/// Linear chain of `task_count` tasks with randomized costs — the paper's
+/// third evaluation graph is such a 50-task chain.
+TaskGraph chain_graph(std::size_t task_count, const DagGenParams& params);
+
+/// Fork-join: source -> `width` parallel branches of `branch_length`
+/// tasks -> sink.  Used by the ablation benches.
+TaskGraph fork_join_graph(std::size_t width, std::size_t branch_length,
+                          const DagGenParams& params);
+
+/// Diamond lattice of `levels` levels: widths 1, 2, ..., peak, ..., 2, 1
+/// with every task feeding its neighbours in the next level.  A dense
+/// synchronization-heavy shape for stress tests.
+TaskGraph diamond_graph(std::size_t levels, const DagGenParams& params);
+
+/// The three evaluation graphs of the paper's Section 6.2 at its scales:
+/// index 0 -> random graph 1 (50 tasks, narrow), 1 -> random graph 2
+/// (94 tasks, wide), 2 -> random graph 3 (50-task chain).
+TaskGraph paper_graph(int index);
+
+/// Calibration constant turning SPE seconds into "operations" for the
+/// paper's CCR = transferred-elements / operations.  The value is chosen
+/// so the paper's CCR band [0.775, 4.6] sweeps edge payloads from the
+/// memory-comfortable few-kB regime (buffers of roughly half the graph fit
+/// into the eight 256 kB local stores) to the memory-starved tens-of-kB
+/// regime where almost nothing fits and every mapping collapses onto the
+/// PPE — reproducing the speed-up collapse of the paper's Fig. 8.  In the
+/// paper's own experiments the SPE local store, not the 25 GB/s interface
+/// bandwidth, is the dominant communication-related constraint
+/// (Section 6.3: "memory limitation of the SPEs is one of the most
+/// significant factors for performance").
+inline constexpr double kPaperOpsRate = 2.5e7;
+
+/// Rescale a graph's data volumes so its communication-to-computation
+/// ratio equals `target` under `ops_rate` (see kPaperOpsRate).  The
+/// paper's six CCR variants span 0.775 .. 4.6.
+void set_ccr(TaskGraph& graph, double target, double ops_rate = kPaperOpsRate);
+
+/// The six CCR values used across the paper's Section 6 experiments.
+inline constexpr double kPaperCcrValues[6] = {0.775, 1.0, 1.5, 2.3, 3.4, 4.6};
+
+}  // namespace cellstream::gen

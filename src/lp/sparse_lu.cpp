@@ -1,0 +1,166 @@
+#include "lp/sparse_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace cellstream::lp {
+
+namespace {
+constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+}
+
+bool SparseLu::factor(const SparseColumns& columns, double pivot_threshold) {
+  n_ = columns.size();
+  ok_ = false;
+  CS_ENSURE(pivot_threshold > 0.0 && pivot_threshold <= 1.0,
+            "SparseLu: threshold outside (0, 1]");
+
+  lower_.assign(n_, {});
+  upper_.assign(n_, {});
+  diag_.assign(n_, 0.0);
+  perm_row_.assign(n_, kUnassigned);   // original row -> pivotal position
+  inv_row_.assign(n_, kUnassigned);    // pivotal position -> original row
+
+  // Cheap fill-reducing column order: sparsest columns first.
+  perm_col_.resize(n_);
+  std::iota(perm_col_.begin(), perm_col_.end(), 0);
+  std::stable_sort(perm_col_.begin(), perm_col_.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return columns[a].size() < columns[b].size();
+                   });
+
+  std::vector<double> work(n_, 0.0);      // by original row index
+  std::vector<std::size_t> touched;       // nonzero original rows in work
+  touched.reserve(64);
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::size_t col = perm_col_[k];
+    CS_ENSURE(col < n_, "SparseLu: bad column index");
+
+    // Scatter A(:, col).
+    touched.clear();
+    for (const MatrixEntry& e : columns[col]) {
+      CS_ENSURE(e.row < n_, "SparseLu: entry row out of range");
+      if (work[e.row] == 0.0 && e.value != 0.0) touched.push_back(e.row);
+      work[e.row] += e.value;
+    }
+
+    // Sparse-ish lower solve: apply previous L columns in pivotal order.
+    // (A linear scan over earlier steps is O(n) per column; arithmetic is
+    // only done where the work vector is nonzero.)
+    for (std::size_t t = 0; t < k; ++t) {
+      const double alpha = work[inv_row_[t]];
+      if (alpha == 0.0) continue;
+      for (const MatrixEntry& e : lower_[t]) {
+        // lower_ entries use original row ids during factorization.
+        if (work[e.row] == 0.0) touched.push_back(e.row);
+        work[e.row] -= alpha * e.value;
+      }
+    }
+
+    // Pivot selection among not-yet-pivoted rows (threshold pivoting
+    // degenerates to strict partial pivoting at threshold 1).
+    double max_mag = 0.0;
+    for (std::size_t r : touched) {
+      if (perm_row_[r] != kUnassigned) continue;
+      max_mag = std::max(max_mag, std::abs(work[r]));
+    }
+    if (max_mag < 1e-12) {
+      for (std::size_t r : touched) work[r] = 0.0;
+      return false;  // structurally or numerically singular
+    }
+    std::size_t pivot = kUnassigned;
+    double pivot_mag = -1.0;
+    for (std::size_t r : touched) {
+      if (perm_row_[r] != kUnassigned) continue;
+      const double mag = std::abs(work[r]);
+      if (mag >= pivot_threshold * max_mag && mag > pivot_mag) {
+        pivot = r;
+        pivot_mag = mag;
+      }
+    }
+    CS_ASSERT(pivot != kUnassigned, "SparseLu: no pivot above threshold");
+
+    diag_[k] = work[pivot];
+    perm_row_[pivot] = k;
+    inv_row_[k] = pivot;
+
+    // Split the worked column into U (pivoted rows) and L (the rest).
+    auto& lcol = lower_[k];
+    auto& ucol = upper_[k];
+    for (std::size_t r : touched) {
+      const double v = work[r];
+      work[r] = 0.0;
+      if (v == 0.0 || r == pivot) continue;
+      const std::size_t pos = perm_row_[r];
+      if (pos != kUnassigned && pos < k) {
+        ucol.push_back({pos, v});  // U(pos, k), pivotal row index
+      } else if (pos == kUnassigned) {
+        lcol.push_back({r, v / diag_[k]});  // original row id (for now)
+      }
+    }
+  }
+
+  // Convert L's row ids to pivotal positions (every row is assigned now).
+  for (auto& col : lower_) {
+    for (MatrixEntry& e : col) e.row = perm_row_[e.row];
+  }
+
+  ok_ = true;
+  return true;
+}
+
+std::size_t SparseLu::fill() const {
+  std::size_t total = diag_.size();
+  for (const auto& col : lower_) total += col.size();
+  for (const auto& col : upper_) total += col.size();
+  return total;
+}
+
+void SparseLu::solve(std::vector<double>& b) const {
+  CS_ENSURE(ok_, "SparseLu::solve before successful factor");
+  CS_ENSURE(b.size() == n_, "SparseLu::solve: size mismatch");
+  // y = P b (pivotal order).
+  std::vector<double> y(n_);
+  for (std::size_t k = 0; k < n_; ++k) y[k] = b[inv_row_[k]];
+  // Forward: L y = y (unit diagonal).
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double alpha = y[k];
+    if (alpha == 0.0) continue;
+    for (const MatrixEntry& e : lower_[k]) y[e.row] -= alpha * e.value;
+  }
+  // Backward: U z = y.
+  for (std::size_t k = n_; k-- > 0;) {
+    const double z = y[k] / diag_[k];
+    y[k] = z;
+    if (z == 0.0) continue;
+    for (const MatrixEntry& e : upper_[k]) y[e.row] -= z * e.value;
+  }
+  // x[q[k]] = z[k].
+  for (std::size_t k = 0; k < n_; ++k) b[perm_col_[k]] = y[k];
+}
+
+void SparseLu::solve_transpose(std::vector<double>& c) const {
+  CS_ENSURE(ok_, "SparseLu::solve_transpose before successful factor");
+  CS_ENSURE(c.size() == n_, "SparseLu::solve_transpose: size mismatch");
+  // w solves U^T w = Q^T c (forward substitution, U^T lower).
+  std::vector<double> w(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    double acc = c[perm_col_[k]];
+    for (const MatrixEntry& e : upper_[k]) acc -= e.value * w[e.row];
+    w[k] = acc / diag_[k];
+  }
+  // v solves L^T v = w (backward, unit diagonal).
+  for (std::size_t k = n_; k-- > 0;) {
+    double acc = w[k];
+    for (const MatrixEntry& e : lower_[k]) acc -= e.value * w[e.row];
+    w[k] = acc;
+  }
+  // y = P^T v: y[original_row] = v[pivotal position of that row].
+  for (std::size_t k = 0; k < n_; ++k) c[inv_row_[k]] = w[k];
+}
+
+}  // namespace cellstream::lp

@@ -1,0 +1,67 @@
+#pragma once
+// Sparse LU factorization for simplex basis matrices.
+//
+// Gilbert-Peierls left-looking LU with threshold partial pivoting: each
+// column of the factor is produced by a sparse triangular solve whose
+// nonzero pattern is discovered by depth-first reachability, so the cost
+// is proportional to the arithmetic actually performed — the property the
+// simplex engine needs, since Cell-mapping bases are extremely sparse
+// (a handful of nonzeros per column at thousands of rows).
+//
+// The factorization is  L U = A[p, q]  with unit-diagonal L, row
+// permutation p chosen by threshold pivoting and column order q supplied
+// by the caller (the solver passes columns sorted by sparsity, a cheap
+// fill-reducing heuristic).
+
+#include <cstddef>
+#include <vector>
+
+namespace cellstream::lp {
+
+struct MatrixEntry {
+  std::size_t row;
+  double value;
+};
+
+/// One m x m sparse matrix given as columns of (row, value) entries.
+using SparseColumns = std::vector<std::vector<MatrixEntry>>;
+
+class SparseLu {
+ public:
+  /// Factor the matrix; returns false if (numerically) singular.
+  /// `pivot_threshold` in (0, 1]: a pivot must be at least this fraction
+  /// of the largest eligible magnitude in its column (1.0 = strict
+  /// partial pivoting, smaller values trade stability for sparsity).
+  bool factor(const SparseColumns& columns, double pivot_threshold = 0.1);
+
+  bool ok() const { return ok_; }
+  std::size_t dimension() const { return n_; }
+
+  /// Number of stored nonzeros in L and U together (diagnostics).
+  std::size_t fill() const;
+
+  /// Solve A x = b in place (b enters dense, leaves as x).
+  void solve(std::vector<double>& b) const;
+
+  /// Solve A^T y = c in place.
+  void solve_transpose(std::vector<double>& c) const;
+
+ private:
+  std::size_t n_ = 0;
+  bool ok_ = false;
+
+  // Column-compressed L (strictly below diagonal, unit diagonal implied)
+  // and U (diagonal stored separately), both in *pivotal* coordinates:
+  // entry rows refer to elimination positions, not original rows.
+  std::vector<std::vector<MatrixEntry>> lower_;  // per elimination step
+  std::vector<std::vector<MatrixEntry>> upper_;  // per column, rows < col
+  std::vector<double> diag_;                     // U diagonal
+
+  // perm_row_[original_row] = pivotal position; inverse_row_ is the
+  // inverse map.  Columns are processed in caller order via perm_col_.
+  std::vector<std::size_t> perm_row_;
+  std::vector<std::size_t> inv_row_;
+  std::vector<std::size_t> perm_col_;  // pivotal position -> original col
+};
+
+}  // namespace cellstream::lp

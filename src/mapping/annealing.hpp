@@ -1,0 +1,37 @@
+#pragma once
+// Simulated-annealing mapper (our second "involved heuristic", paper
+// Section 7 future work).
+//
+// Random single-task reassignments, accepted when they shorten the
+// steady-state period or with Boltzmann probability exp(-delta/T)
+// otherwise; the temperature follows a geometric cooling schedule scaled
+// to the starting period.  Infeasible neighbours are always rejected, so
+// every intermediate state is a valid mapping and the best state seen is
+// returned.  Deterministic for a fixed seed.
+
+#include <cstdint>
+
+#include "core/steady_state.hpp"
+
+namespace cellstream::mapping {
+
+struct AnnealingOptions {
+  std::size_t iterations = 20000;
+  /// Initial temperature as a fraction of the starting period (controls
+  /// how bad an uphill move can be and still get accepted early).
+  double start_temperature = 0.2;
+  /// Final temperature fraction (effectively greedy by the end).
+  double end_temperature = 1e-4;
+  std::uint64_t seed = 1;
+};
+
+/// Anneal from `start` (must be feasible); returns the best mapping seen.
+Mapping anneal_mapping(const SteadyStateAnalysis& analysis,
+                       const Mapping& start,
+                       const AnnealingOptions& options = {});
+
+/// Convenience: greedy-cpu (or PPE-only) start + annealing.
+Mapping annealing_heuristic(const SteadyStateAnalysis& analysis,
+                            const AnnealingOptions& options = {});
+
+}  // namespace cellstream::mapping

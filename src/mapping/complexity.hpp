@@ -1,0 +1,46 @@
+#pragma once
+// The paper's NP-completeness reduction (Section 3.2, Theorem 1),
+// executable: Minimum Multiprocessor Scheduling on two machines reduces to
+// Cell-Mapping on a 1 PPE + 1 SPE platform.
+//
+// An instance of the scheduling problem is a set of tasks with a length
+// l(k, m) on each machine m in {0, 1} and a bound B; the question is
+// whether an assignment exists with per-machine total length <= B.  The
+// reduction builds a chain streaming application with wPPE = l(k, 0),
+// wSPE = l(k, 1) and zero-size data, so a mapping with throughput >= 1/B
+// exists iff the scheduling instance is a yes-instance.
+//
+// This module exists to make the theory section testable: the tests
+// enumerate small instances on both sides and verify the equivalence.
+
+#include <array>
+#include <vector>
+
+#include "core/task_graph.hpp"
+#include "platform/cell.hpp"
+
+namespace cellstream::mapping {
+
+/// Minimum Multiprocessor Scheduling instance on two machines.
+struct TwoMachineInstance {
+  /// lengths[k][m]: processing time of task k on machine m (m in {0, 1}).
+  std::vector<std::array<double, 2>> lengths;
+  double bound = 0.0;  ///< B: the makespan to beat.
+};
+
+/// The reduction of the paper's Theorem 1: chain graph with unrelated
+/// costs and zero-size dependencies.
+TaskGraph reduce_to_cell_mapping(const TwoMachineInstance& instance);
+
+/// The matching platform: one PPE (machine 0) and one SPE (machine 1).
+CellPlatform reduction_platform();
+
+/// Decide the scheduling instance exactly (exhaustive over 2^n
+/// assignments; the reduction's tests only need small n).
+bool two_machine_schedulable(const TwoMachineInstance& instance);
+
+/// Decide Cell-Mapping for the reduced instance: does a mapping with
+/// throughput >= 1/bound exist?  (Exhaustive over the two machines.)
+bool cell_mapping_reaches_bound(const TwoMachineInstance& instance);
+
+}  // namespace cellstream::mapping

@@ -1,0 +1,51 @@
+#include "mapping/exhaustive.hpp"
+
+#include <cmath>
+
+namespace cellstream::mapping {
+
+namespace {
+
+void search(const SteadyStateAnalysis& analysis, Mapping& mapping, TaskId next,
+            std::optional<ExhaustiveResult>& best) {
+  const TaskGraph& graph = analysis.graph();
+  if (next == graph.task_count()) {
+    if (!analysis.feasible(mapping)) return;
+    const double period = analysis.period(mapping);
+    if (!best || period < best->period) best = ExhaustiveResult{mapping, period};
+    return;
+  }
+  const std::size_t n = analysis.platform().pe_count();
+  // Symmetry reduction: SPEs are identical, so only allow task `next` on
+  // the first SPE index not yet used plus all used ones (canonical form).
+  const std::size_t first_spe = analysis.platform().ppe_count;
+  PeId max_used_spe = first_spe;  // first untouched SPE allowed
+  for (TaskId t = 0; t < next; ++t) {
+    if (mapping.pe_of(t) >= first_spe) {
+      max_used_spe = std::max<PeId>(max_used_spe, mapping.pe_of(t) + 1);
+    }
+  }
+  for (PeId pe = 0; pe < n; ++pe) {
+    if (pe >= first_spe && pe > max_used_spe) break;  // symmetric duplicate
+    mapping.assign(next, pe);
+    search(analysis, mapping, next + 1, best);
+  }
+  mapping.assign(next, 0);
+}
+
+}  // namespace
+
+std::optional<ExhaustiveResult> exhaustive_optimal_mapping(
+    const SteadyStateAnalysis& analysis, std::size_t max_states) {
+  const double states =
+      std::pow(static_cast<double>(analysis.platform().pe_count()),
+               static_cast<double>(analysis.graph().task_count()));
+  CS_ENSURE(states <= static_cast<double>(max_states),
+            "exhaustive_optimal_mapping: search space too large");
+  Mapping mapping(analysis.graph().task_count(), 0);
+  std::optional<ExhaustiveResult> best;
+  search(analysis, mapping, 0, best);
+  return best;
+}
+
+}  // namespace cellstream::mapping

@@ -1,0 +1,26 @@
+#pragma once
+// Exhaustive optimal mapper for tiny instances.
+//
+// Enumerates all n^K assignments (with symmetry reduction over identical
+// idle SPEs) and returns the feasible mapping with the smallest
+// steady-state period.  Exponential — intended for cross-validating the
+// MILP mapper in tests and for very small production graphs.
+
+#include <optional>
+
+#include "core/steady_state.hpp"
+
+namespace cellstream::mapping {
+
+struct ExhaustiveResult {
+  Mapping mapping;
+  double period;
+};
+
+/// Search every mapping; returns nullopt only if no feasible mapping
+/// exists (impossible on platforms with a PPE).  Throws if the search
+/// space n^K exceeds `max_states`.
+std::optional<ExhaustiveResult> exhaustive_optimal_mapping(
+    const SteadyStateAnalysis& analysis, std::size_t max_states = 50'000'000);
+
+}  // namespace cellstream::mapping

@@ -1,0 +1,42 @@
+#pragma once
+// Reference mapping heuristics (paper Section 6.3) plus simple baselines.
+//
+// Both paper heuristics walk the tasks in topological order and never
+// revisit a decision.  Memory feasibility (task buffers fitting in the
+// SPE local store) is the admission criterion; the PPE is the fallback
+// host since its main memory is unconstrained.
+
+#include <string>
+
+#include "core/steady_state.hpp"
+
+namespace cellstream::mapping {
+
+/// GREEDYMEM: among the SPEs with enough free local store for the task's
+/// buffers, pick the one with the least loaded memory; fall back to PPE0.
+Mapping greedy_mem(const SteadyStateAnalysis& analysis);
+
+/// GREEDYCPU: among all PEs (SPEs with enough free memory, plus the PPE),
+/// pick the one with the smallest accumulated computation load.
+Mapping greedy_cpu(const SteadyStateAnalysis& analysis);
+
+/// Everything on PPE0 — the paper's speed-up baseline.
+Mapping ppe_only(const SteadyStateAnalysis& analysis);
+
+/// Round-robin over all PEs in topological order, skipping SPEs whose
+/// local store cannot take the task.  A deliberately naive extra baseline
+/// for the ablation benches.
+Mapping round_robin(const SteadyStateAnalysis& analysis);
+
+/// Communication-aware greedy (our extension, the paper's future-work
+/// "involved heuristic"): like GREEDYCPU but evaluates the candidate PE by
+/// the resulting steady-state period (compute + interface occupation),
+/// keeping memory feasibility as a hard filter.
+Mapping greedy_period(const SteadyStateAnalysis& analysis);
+
+/// Dispatch by name ("greedy-mem", "greedy-cpu", "ppe-only",
+/// "round-robin", "greedy-period"); throws on unknown names.
+Mapping run_heuristic(const std::string& name,
+                      const SteadyStateAnalysis& analysis);
+
+}  // namespace cellstream::mapping

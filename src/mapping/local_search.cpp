@@ -1,0 +1,90 @@
+#include "mapping/local_search.hpp"
+
+#include "mapping/heuristics.hpp"
+
+namespace cellstream::mapping {
+
+namespace {
+
+/// Try every single-task move; apply the first strict improvement found
+/// per task (first-improvement keeps a pass linear in K * n).
+bool move_pass(const SteadyStateAnalysis& analysis, Mapping& mapping,
+               double& period) {
+  const std::size_t n = analysis.platform().pe_count();
+  bool improved = false;
+  for (TaskId t = 0; t < mapping.task_count(); ++t) {
+    const PeId original = mapping.pe_of(t);
+    PeId best_pe = original;
+    double best_period = period;
+    for (PeId pe = 0; pe < n; ++pe) {
+      if (pe == original) continue;
+      mapping.assign(t, pe);
+      if (analysis.feasible(mapping)) {
+        const double candidate = analysis.period(mapping);
+        if (candidate < best_period - 1e-15) {
+          best_period = candidate;
+          best_pe = pe;
+        }
+      }
+    }
+    mapping.assign(t, best_pe);
+    if (best_pe != original) {
+      period = best_period;
+      improved = true;
+    }
+  }
+  return improved;
+}
+
+/// Try swapping the hosts of every task pair on distinct PEs.
+bool swap_pass(const SteadyStateAnalysis& analysis, Mapping& mapping,
+               double& period) {
+  bool improved = false;
+  for (TaskId a = 0; a < mapping.task_count(); ++a) {
+    for (TaskId b = a + 1; b < mapping.task_count(); ++b) {
+      const PeId pa = mapping.pe_of(a);
+      const PeId pb = mapping.pe_of(b);
+      if (pa == pb) continue;
+      mapping.assign(a, pb);
+      mapping.assign(b, pa);
+      if (analysis.feasible(mapping)) {
+        const double candidate = analysis.period(mapping);
+        if (candidate < period - 1e-15) {
+          period = candidate;
+          improved = true;
+          continue;  // keep the swap
+        }
+      }
+      mapping.assign(a, pa);
+      mapping.assign(b, pb);
+    }
+  }
+  return improved;
+}
+
+}  // namespace
+
+double improve_mapping(const SteadyStateAnalysis& analysis, Mapping& mapping,
+                       const LocalSearchOptions& options) {
+  CS_ENSURE(analysis.feasible(mapping),
+            "improve_mapping: starting mapping is infeasible");
+  double period = analysis.period(mapping);
+  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    bool improved = move_pass(analysis, mapping, period);
+    if (options.use_swaps) {
+      improved = swap_pass(analysis, mapping, period) || improved;
+    }
+    if (!improved) break;
+  }
+  return period;
+}
+
+Mapping local_search_heuristic(const SteadyStateAnalysis& analysis,
+                               const LocalSearchOptions& options) {
+  Mapping mapping = greedy_cpu(analysis);
+  if (!analysis.feasible(mapping)) mapping = ppe_only(analysis);
+  improve_mapping(analysis, mapping, options);
+  return mapping;
+}
+
+}  // namespace cellstream::mapping

@@ -1,0 +1,392 @@
+#include "mapping/milp_mapper.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "mapping/heuristics.hpp"
+#include "mapping/local_search.hpp"
+
+namespace cellstream::mapping {
+
+Formulation build_formulation(const SteadyStateAnalysis& analysis) {
+  const TaskGraph& graph = analysis.graph();
+  const CellPlatform& platform = analysis.platform();
+  const std::size_t n = platform.pe_count();
+  const std::size_t K = graph.task_count();
+  const double bw = platform.interface_bandwidth;
+  const double budget = static_cast<double>(platform.buffer_budget());
+
+  Formulation f;
+  lp::Problem& p = f.problem;
+
+  // Objective: minimize the period T.
+  f.period_var = p.add_variable(0.0, lp::kInfinity, 1.0, "T");
+
+  // (1a) alpha and beta domains.
+  f.alpha.assign(K, {});
+  for (TaskId k = 0; k < K; ++k) {
+    f.alpha[k].reserve(n);
+    for (PeId i = 0; i < n; ++i) {
+      f.alpha[k].push_back(p.add_variable(
+          0.0, 1.0, 0.0, "a_" + std::to_string(k) + "_" + std::to_string(i)));
+    }
+  }
+  f.beta.assign(graph.edge_count(), {});
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    f.beta[e].reserve(n * n);
+    for (PeId i = 0; i < n; ++i) {
+      for (PeId j = 0; j < n; ++j) {
+        f.beta[e].push_back(p.add_variable(
+            0.0, 1.0, 0.0,
+            "b_" + std::to_string(e) + "_" + std::to_string(i) + "_" +
+                std::to_string(j)));
+      }
+    }
+  }
+
+  // (1b) every task on exactly one PE.
+  for (TaskId k = 0; k < K; ++k) {
+    std::vector<lp::Coefficient> row;
+    for (PeId i = 0; i < n; ++i) row.push_back({f.alpha[k][i], 1.0});
+    p.add_row(1.0, 1.0, row, "assign_" + std::to_string(k));
+  }
+
+  // (1c) the PE computing T_l receives each D_{k,l}:
+  //      sum_i beta[e][i][j] >= alpha[l][j].
+  // (1d) only the PE computing T_k may send D_{k,l}:
+  //      sum_j beta[e][i][j] <= alpha[k][i].
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    const Edge& edge = graph.edge(e);
+    for (PeId j = 0; j < n; ++j) {
+      std::vector<lp::Coefficient> row;
+      for (PeId i = 0; i < n; ++i) row.push_back({f.beta[e][i * n + j], 1.0});
+      row.push_back({f.alpha[edge.to][j], -1.0});
+      p.add_row(0.0, lp::kInfinity, row,
+                "recv_" + std::to_string(e) + "_" + std::to_string(j));
+    }
+    for (PeId i = 0; i < n; ++i) {
+      std::vector<lp::Coefficient> row;
+      for (PeId j = 0; j < n; ++j) row.push_back({f.beta[e][i * n + j], 1.0});
+      row.push_back({f.alpha[edge.from][i], -1.0});
+      p.add_row(-lp::kInfinity, 0.0, row,
+                "send_" + std::to_string(e) + "_" + std::to_string(i));
+    }
+  }
+
+  // (1e)/(1f) compute occupation below T on every PE.
+  for (PeId i = 0; i < n; ++i) {
+    std::vector<lp::Coefficient> row;
+    for (TaskId k = 0; k < K; ++k) {
+      const Task& task = graph.task(k);
+      const double w = platform.is_ppe(i) ? task.wppe : task.wspe;
+      if (w != 0.0) row.push_back({f.alpha[k][i], w});
+    }
+    row.push_back({f.period_var, -1.0});
+    p.add_row(-lp::kInfinity, 0.0, row, "compute_" + std::to_string(i));
+  }
+
+  // (1g)/(1h) interface occupation below T (rows scaled by 1/bw so every
+  // coefficient is in seconds).
+  for (PeId i = 0; i < n; ++i) {
+    std::vector<lp::Coefficient> in_row, out_row;
+    for (TaskId k = 0; k < K; ++k) {
+      const Task& task = graph.task(k);
+      if (task.read_bytes != 0.0) {
+        in_row.push_back({f.alpha[k][i], task.read_bytes / bw});
+      }
+      if (task.write_bytes != 0.0) {
+        out_row.push_back({f.alpha[k][i], task.write_bytes / bw});
+      }
+    }
+    for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+      const double secs = graph.edge(e).data_bytes / bw;
+      if (secs == 0.0) continue;
+      for (PeId other = 0; other < n; ++other) {
+        if (other == i) continue;
+        in_row.push_back({f.beta[e][other * n + i], secs});
+        out_row.push_back({f.beta[e][i * n + other], secs});
+      }
+    }
+    in_row.push_back({f.period_var, -1.0});
+    out_row.push_back({f.period_var, -1.0});
+    p.add_row(-lp::kInfinity, 0.0, in_row, "bw_in_" + std::to_string(i));
+    p.add_row(-lp::kInfinity, 0.0, out_row, "bw_out_" + std::to_string(i));
+  }
+
+  // Section 7 extension: on multi-chip platforms the inter-chip link is a
+  // shared resource in each direction (rows analogous to (1g)/(1h)).
+  if (platform.chip_count > 1) {
+    for (std::size_t chip = 0; chip < platform.chip_count; ++chip) {
+      std::vector<lp::Coefficient> out_row, in_row;
+      for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+        const double secs =
+            graph.edge(e).data_bytes / platform.cross_chip_bandwidth;
+        if (secs == 0.0) continue;
+        for (PeId i = 0; i < n; ++i) {
+          for (PeId j = 0; j < n; ++j) {
+            if (!platform.crosses_chips(i, j)) continue;
+            if (platform.chip_of(i) == chip) {
+              out_row.push_back({f.beta[e][i * n + j], secs});
+            }
+            if (platform.chip_of(j) == chip) {
+              in_row.push_back({f.beta[e][i * n + j], secs});
+            }
+          }
+        }
+      }
+      if (out_row.empty() && in_row.empty()) continue;
+      out_row.push_back({f.period_var, -1.0});
+      in_row.push_back({f.period_var, -1.0});
+      p.add_row(-lp::kInfinity, 0.0, out_row,
+                "xchip_out_" + std::to_string(chip));
+      p.add_row(-lp::kInfinity, 0.0, in_row,
+                "xchip_in_" + std::to_string(chip));
+    }
+  }
+
+  // (1i) buffers of tasks on a SPE fit in its local store (scaled to 1).
+  // Under the shared-buffer policy (the Section 4.2 optimization), an edge
+  // whose endpoints are co-located on the SPE needs its buffer only once:
+  // the relief is linear in beta[e][i][i], which equals 1 exactly when
+  // both endpoints sit on PE i.
+  const bool shared =
+      analysis.buffer_policy() == BufferPolicy::kSharedColocated;
+  for (PeId i = platform.ppe_count; i < n; ++i) {
+    std::vector<lp::Coefficient> row;
+    for (TaskId k = 0; k < K; ++k) {
+      const double buf = analysis.task_buffer_bytes(k);
+      if (buf != 0.0) row.push_back({f.alpha[k][i], buf / budget});
+    }
+    if (shared) {
+      for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+        const double relief = analysis.buffer_bytes(e) / budget;
+        if (relief != 0.0) {
+          row.push_back({f.beta[e][i * n + i], -relief});
+        }
+      }
+    }
+    if (row.empty()) continue;
+    p.add_row(-lp::kInfinity, 1.0, row, "mem_" + std::to_string(i));
+  }
+
+  // Strengthening of (1i), both implied by it for integral alpha but much
+  // tighter in the LP relaxation (they close most of the branch-and-bound
+  // gap on memory-tight instances):
+  //  * a task whose buffers exceed the local store can never sit on a SPE;
+  //  * two tasks whose buffers jointly exceed it cannot share one.
+  for (TaskId k = 0; k < K; ++k) {
+    double min_need = analysis.task_buffer_bytes(k);
+    if (shared) {
+      // Best case: every incident edge is co-located and shared (its
+      // partner task contributes the other copy).
+      for (EdgeId e : graph.in_edges(k)) {
+        min_need -= analysis.buffer_bytes(e) / 2.0;
+      }
+      for (EdgeId e : graph.out_edges(k)) {
+        min_need -= analysis.buffer_bytes(e) / 2.0;
+      }
+    }
+    if (min_need > budget) {
+      for (PeId i = platform.ppe_count; i < n; ++i) {
+        p.set_variable_bounds(f.alpha[k][i], 0.0, 0.0);
+      }
+    }
+  }
+  std::size_t conflict_rows = 0;
+  const std::size_t kMaxConflictPairs = shared ? 0 : 400;
+  for (TaskId k = 0; k < K && conflict_rows < kMaxConflictPairs; ++k) {
+    const double buf_k = analysis.task_buffer_bytes(k);
+    if (buf_k == 0.0 || buf_k > budget) continue;
+    for (TaskId l = k + 1; l < K && conflict_rows < kMaxConflictPairs; ++l) {
+      const double buf_l = analysis.task_buffer_bytes(l);
+      if (buf_l == 0.0 || buf_l > budget) continue;
+      if (buf_k + buf_l <= budget) continue;
+      ++conflict_rows;
+      for (PeId i = platform.ppe_count; i < n; ++i) {
+        p.add_row(-lp::kInfinity, 1.0,
+                  {{f.alpha[k][i], 1.0}, {f.alpha[l][i], 1.0}},
+                  "conflict_" + std::to_string(k) + "_" + std::to_string(l) +
+                      "_" + std::to_string(i));
+      }
+    }
+  }
+
+  // (1j) at most spe_dma_slots distinct incoming transfers per SPE.
+  for (PeId j = platform.ppe_count; j < n; ++j) {
+    std::vector<lp::Coefficient> row;
+    for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+      for (PeId i = 0; i < n; ++i) {
+        if (i == j) continue;
+        row.push_back({f.beta[e][i * n + j], 1.0});
+      }
+    }
+    if (row.empty()) continue;
+    p.add_row(-lp::kInfinity, static_cast<double>(platform.spe_dma_slots),
+              row, "dma_in_" + std::to_string(j));
+  }
+
+  // (1k) at most ppe_to_spe_dma_slots transfers from each SPE to PPEs.
+  for (PeId i = platform.ppe_count; i < n; ++i) {
+    std::vector<lp::Coefficient> row;
+    for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+      for (PeId j = 0; j < platform.ppe_count; ++j) {
+        row.push_back({f.beta[e][i * n + j], 1.0});
+      }
+    }
+    if (row.empty()) continue;
+    p.add_row(-lp::kInfinity,
+              static_cast<double>(platform.ppe_to_spe_dma_slots), row,
+              "dma_ppe_" + std::to_string(i));
+  }
+
+  return f;
+}
+
+Mapping extract_mapping(const Formulation& formulation,
+                        const std::vector<double>& x) {
+  const std::size_t K = formulation.alpha.size();
+  Mapping mapping(K, 0);
+  for (TaskId k = 0; k < K; ++k) {
+    PeId best = 0;
+    double best_value = -1.0;
+    for (PeId i = 0; i < formulation.alpha[k].size(); ++i) {
+      const double value = x[formulation.alpha[k][i]];
+      if (value > best_value) {
+        best_value = value;
+        best = i;
+      }
+    }
+    mapping.assign(k, best);
+  }
+  return mapping;
+}
+
+std::vector<double> encode_mapping(const Formulation& formulation,
+                                   const SteadyStateAnalysis& analysis,
+                                   const Mapping& mapping) {
+  std::vector<double> x(formulation.problem.variable_count(), 0.0);
+  const TaskGraph& graph = analysis.graph();
+  const std::size_t n = analysis.platform().pe_count();
+  for (TaskId k = 0; k < graph.task_count(); ++k) {
+    x[formulation.alpha[k][mapping.pe_of(k)]] = 1.0;
+  }
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    const Edge& edge = graph.edge(e);
+    const PeId i = mapping.pe_of(edge.from);
+    const PeId j = mapping.pe_of(edge.to);
+    x[formulation.beta[e][i * n + j]] = 1.0;
+  }
+  x[formulation.period_var] = analysis.period(mapping);
+  return x;
+}
+
+namespace {
+
+/// Make a rounded mapping feasible by evicting tasks from violating SPEs
+/// to the PPE.  Terminates: each step strictly shrinks some SPE's task
+/// set, and the PPE-only mapping is always feasible.
+bool repair_mapping(const SteadyStateAnalysis& analysis, Mapping& mapping) {
+  const CellPlatform& platform = analysis.platform();
+  for (std::size_t round = 0; round <= mapping.task_count(); ++round) {
+    const ResourceUsage u = analysis.usage(mapping);
+    const double budget = static_cast<double>(platform.buffer_budget());
+    PeId violating = platform.pe_count();
+    for (PeId pe = platform.ppe_count; pe < platform.pe_count(); ++pe) {
+      if (u.buffer_bytes[pe] > budget ||
+          u.incoming_transfers[pe] > platform.spe_dma_slots ||
+          u.to_ppe_transfers[pe] > platform.ppe_to_spe_dma_slots) {
+        violating = pe;
+        break;
+      }
+    }
+    if (violating == platform.pe_count()) return true;  // feasible
+    const std::vector<TaskId> tasks = mapping.tasks_on(violating);
+    if (tasks.empty()) return false;  // cannot happen; defensive
+    TaskId evict = tasks.front();
+    double heaviest = -1.0;
+    for (TaskId t : tasks) {
+      if (analysis.task_buffer_bytes(t) > heaviest) {
+        heaviest = analysis.task_buffer_bytes(t);
+        evict = t;
+      }
+    }
+    mapping.assign(evict, 0);
+  }
+  return false;
+}
+
+}  // namespace
+
+MilpMapperResult solve_optimal_mapping(const SteadyStateAnalysis& analysis,
+                                       const MilpMapperOptions& options) {
+  const TaskGraph& graph = analysis.graph();
+  const CellPlatform& platform = analysis.platform();
+  const std::size_t n = platform.pe_count();
+
+  Formulation formulation = build_formulation(analysis);
+
+  std::vector<lp::VarId> integer_vars;
+  for (const auto& row : formulation.alpha) {
+    integer_vars.insert(integer_vars.end(), row.begin(), row.end());
+  }
+  milp::Solver solver(formulation.problem, integer_vars, options.milp);
+
+  for (TaskId k = 0; k < graph.task_count(); ++k) {
+    solver.add_exactly_one_group(formulation.alpha[k]);
+    // Branch heavy tasks first: their placement moves the bound most.
+    const double weight =
+        std::max(graph.task(k).wppe, graph.task(k).wspe);
+    for (PeId i = 0; i < n; ++i) {
+      solver.set_branch_priority(formulation.alpha[k][i], weight);
+    }
+  }
+
+  if (options.seed_with_heuristics) {
+    for (const char* name :
+         {"ppe-only", "greedy-mem", "greedy-cpu", "greedy-period"}) {
+      Mapping m = run_heuristic(name, analysis);
+      if (!analysis.feasible(m)) continue;
+      // Polish every seed with local search: strong incumbents let the
+      // branch-and-bound prune aggressively from the root.
+      const double period = improve_mapping(analysis, m);
+      solver.add_initial_incumbent(
+          {period, encode_mapping(formulation, analysis, m)});
+    }
+  }
+
+  if (options.rounding_heuristic) {
+    solver.set_rounding_callback(
+        [&formulation, &analysis](const std::vector<double>& x)
+            -> std::optional<milp::Candidate> {
+          Mapping rounded = extract_mapping(formulation, x);
+          if (!repair_mapping(analysis, rounded)) return std::nullopt;
+          LocalSearchOptions polish;
+          polish.max_passes = 2;
+          polish.use_swaps = false;  // keep per-node cost low
+          const double period = improve_mapping(analysis, rounded, polish);
+          return milp::Candidate{
+              period, encode_mapping(formulation, analysis, rounded)};
+        });
+  }
+
+  const milp::Result result = solver.solve();
+  CS_ENSURE(result.status == milp::Status::kOptimal ||
+                result.status == milp::Status::kLimitFeasible,
+            "solve_optimal_mapping: no feasible mapping found (status " +
+                std::string(milp::to_string(result.status)) + ")");
+
+  MilpMapperResult out;
+  out.mapping = extract_mapping(formulation, result.x);
+  out.period = analysis.period(out.mapping);
+  out.throughput = 1.0 / out.period;
+  out.status = result.status;
+  out.gap = result.gap;
+  out.best_bound = result.best_bound;
+  out.nodes = result.nodes;
+  out.lp_iterations = result.lp_iterations;
+  out.solve_seconds = result.solve_seconds;
+  return out;
+}
+
+}  // namespace cellstream::mapping

@@ -1,0 +1,82 @@
+#pragma once
+// The paper's optimal mapping via mixed linear programming (Section 5).
+//
+// Variables:
+//   alpha[k][i]  in {0,1} : task T_k runs on PE_i,
+//   beta[k,l][i][j] in [0,1] : data D_{k,l} is transferred from PE_i to
+//                              PE_j (continuous: once every alpha is
+//                              integral, constraints (1c)/(1d) force beta
+//                              to the product alpha_i^k * alpha_j^l, so
+//                              branching on alpha alone is exact — see
+//                              DESIGN.md and the tests),
+//   T >= 0 : period length (seconds); the objective minimizes T.
+//
+// Constraints are the paper's (1b)-(1k), with bandwidth rows divided by bw
+// and the local-store row divided by the buffer budget so every
+// coefficient is well-scaled (seconds / dimensionless).
+
+#include <vector>
+
+#include "core/steady_state.hpp"
+#include "lp/problem.hpp"
+#include "milp/branch_and_bound.hpp"
+
+namespace cellstream::mapping {
+
+/// The assembled MILP and the variable ids needed to interpret solutions.
+struct Formulation {
+  lp::Problem problem;
+  /// alpha[k][i]: assignment binaries.
+  std::vector<std::vector<lp::VarId>> alpha;
+  /// beta[e][i * n + j]: routing variables of edge e.
+  std::vector<std::vector<lp::VarId>> beta;
+  lp::VarId period_var = 0;
+};
+
+/// Build the paper's linear program (1) for `analysis`'s graph/platform.
+Formulation build_formulation(const SteadyStateAnalysis& analysis);
+
+/// Extract the mapping encoded by the alpha block of a MILP solution.
+Mapping extract_mapping(const Formulation& formulation,
+                        const std::vector<double>& x);
+
+/// Construct the full variable vector (alpha, beta = products, T = period)
+/// corresponding to a concrete mapping; used to inject heuristic solutions
+/// as incumbents and in tests.
+std::vector<double> encode_mapping(const Formulation& formulation,
+                                   const SteadyStateAnalysis& analysis,
+                                   const Mapping& mapping);
+
+struct MilpMapperOptions {
+  milp::Options milp;  ///< relative_gap defaults to the paper's 5 %.
+  /// Seed the search with GreedyMem / GreedyCpu / PPE-only incumbents.
+  bool seed_with_heuristics = true;
+  /// Attach the LP-rounding incumbent callback.
+  bool rounding_heuristic = true;
+
+  MilpMapperOptions() {
+    milp.relative_gap = 0.05;
+    milp.time_limit_seconds = 60.0;
+  }
+};
+
+struct MilpMapperResult {
+  Mapping mapping;
+  double period = 0.0;      ///< Steady-state period of `mapping` (analysis).
+  double throughput = 0.0;  ///< 1 / period.
+  milp::Status status = milp::Status::kLimitNoSolution;
+  double gap = 0.0;         ///< Proven optimality gap.
+  double best_bound = 0.0;  ///< Lower bound on any mapping's period.
+  std::size_t nodes = 0;
+  std::size_t lp_iterations = 0;
+  double solve_seconds = 0.0;
+};
+
+/// Compute a throughput-optimal (within the configured gap) mapping of the
+/// analysis' graph onto its platform.  Throws if no feasible mapping
+/// exists within the limits (with >= 1 PPE there is always the PPE-only
+/// mapping, so this only happens on pathological limit settings).
+MilpMapperResult solve_optimal_mapping(const SteadyStateAnalysis& analysis,
+                                       const MilpMapperOptions& options = {});
+
+}  // namespace cellstream::mapping

@@ -1,0 +1,268 @@
+#include "milp/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+namespace cellstream::milp {
+
+namespace {
+
+constexpr std::size_t kNoGroup = static_cast<std::size_t>(-1);
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kOptimal: return "optimal";
+    case Status::kInfeasible: return "infeasible";
+    case Status::kLimitFeasible: return "limit-feasible";
+    case Status::kLimitNoSolution: return "limit-no-solution";
+  }
+  return "unknown";
+}
+
+Solver::Solver(lp::Problem problem, std::vector<lp::VarId> integer_vars,
+               Options options)
+    : problem_(std::move(problem)),
+      integer_vars_(std::move(integer_vars)),
+      options_(options) {
+  is_integer_.assign(problem_.variable_count(), false);
+  priority_.assign(problem_.variable_count(), 0.0);
+  group_of_.assign(problem_.variable_count(), kNoGroup);
+  for (lp::VarId v : integer_vars_) {
+    CS_ENSURE(v < problem_.variable_count(), "Solver: bad integer variable");
+    CS_ENSURE(problem_.var_lo(v) >= -1e-9 && problem_.var_up(v) <= 1.0 + 1e-9,
+              "Solver: integer variables must be binary");
+    is_integer_[v] = true;
+  }
+}
+
+void Solver::add_exactly_one_group(std::vector<lp::VarId> group) {
+  // Validate the whole group before mutating any state, so a rejected
+  // call leaves the solver unchanged.
+  for (lp::VarId v : group) {
+    CS_ENSURE(v < problem_.variable_count(), "group: bad variable");
+    CS_ENSURE(is_integer_[v], "group: variable is not integer");
+    CS_ENSURE(group_of_[v] == kNoGroup, "group: variable in two groups");
+  }
+  for (lp::VarId v : group) group_of_[v] = groups_.size();
+  groups_.push_back(std::move(group));
+}
+
+void Solver::set_branch_priority(lp::VarId var, double priority) {
+  CS_ENSURE(var < problem_.variable_count(), "priority: bad variable");
+  priority_[var] = priority;
+}
+
+void Solver::add_initial_incumbent(const Candidate& candidate) {
+  (void)try_incumbent(candidate);
+}
+
+double Solver::prune_threshold() const {
+  CS_ASSERT(has_incumbent_, "prune_threshold without incumbent");
+  const double slack = std::max(options_.absolute_gap,
+                                options_.relative_gap * std::abs(incumbent_obj_));
+  return incumbent_obj_ - slack;
+}
+
+bool Solver::out_of_budget() const {
+  return nodes_ >= options_.max_nodes || now_seconds() >= deadline_;
+}
+
+bool Solver::try_incumbent(const Candidate& candidate) {
+  if (candidate.x.size() != problem_.variable_count()) return false;
+  if (has_incumbent_ && candidate.objective >= incumbent_obj_) return false;
+  for (lp::VarId v : integer_vars_) {
+    const double frac = std::abs(candidate.x[v] - std::round(candidate.x[v]));
+    if (frac > options_.integrality_tol) return false;
+  }
+  if (problem_.max_violation(candidate.x) > 1e-6) return false;
+  const double true_obj = problem_.objective_value(candidate.x);
+  if (std::abs(true_obj - candidate.objective) > 1e-6 * (1.0 + std::abs(true_obj))) {
+    // Callback lied about the objective; trust the recomputation.
+  }
+  if (has_incumbent_ && true_obj >= incumbent_obj_) return false;
+  has_incumbent_ = true;
+  incumbent_obj_ = true_obj;
+  incumbent_x_ = candidate.x;
+  return true;
+}
+
+void Solver::fix_variable(lp::VarId var, double value,
+                          std::vector<BoundChange>& undo) {
+  undo.push_back({var, cur_lo_[var], cur_up_[var]});
+  cur_lo_[var] = value;
+  cur_up_[var] = value;
+  simplex_->set_variable_bounds(var, value, value);
+  if (value > 0.5 && group_of_[var] != kNoGroup) {
+    for (lp::VarId other : groups_[group_of_[var]]) {
+      if (other == var) continue;
+      if (cur_lo_[other] == 0.0 && cur_up_[other] == 0.0) continue;
+      undo.push_back({other, cur_lo_[other], cur_up_[other]});
+      cur_lo_[other] = 0.0;
+      cur_up_[other] = 0.0;
+      simplex_->set_variable_bounds(other, 0.0, 0.0);
+    }
+  }
+}
+
+void Solver::dive(std::size_t depth) {
+  if (stopped_) return;
+  if (out_of_budget()) {
+    stopped_ = true;
+    return;
+  }
+  ++nodes_;
+
+  const lp::SimplexResult res = simplex_->solve();
+  lp_iterations_ += res.iterations;
+
+  if (res.status == lp::SolveStatus::kInfeasible) return;
+  const bool bound_valid = res.status == lp::SolveStatus::kOptimal;
+  const double bound = bound_valid ? res.objective : -kInf;
+  if (nodes_ == 1 && bound_valid) {
+    root_bound_ = bound;  // valid global lower bound even if we stop early
+    have_root_bound_ = true;
+  }
+
+  if (has_incumbent_ && bound >= prune_threshold()) {
+    frontier_bound_ = frontier_seen_ ? std::min(frontier_bound_, bound) : bound;
+    frontier_seen_ = true;
+    return;
+  }
+
+  // Locate the branching variable: fractional integer var with the highest
+  // (priority, fractionality) pair.
+  lp::VarId branch_var = 0;
+  bool found_fractional = false;
+  double best_priority = -kInf;
+  double best_frac = -1.0;
+  if (bound_valid) {
+    for (lp::VarId v : integer_vars_) {
+      const double val = res.x[v];
+      const double frac = std::min(val - std::floor(val), std::ceil(val) - val);
+      if (frac <= options_.integrality_tol) continue;
+      const bool better = !found_fractional || priority_[v] > best_priority ||
+                          (priority_[v] == best_priority && frac > best_frac);
+      if (better) {
+        branch_var = v;
+        best_priority = priority_[v];
+        best_frac = frac;
+      }
+      found_fractional = true;
+    }
+  }
+
+  if (bound_valid && !found_fractional) {
+    // Integral LP optimum: a leaf.
+    (void)try_incumbent({res.objective, res.x});
+    frontier_bound_ =
+        frontier_seen_ ? std::min(frontier_bound_, res.objective) : res.objective;
+    frontier_seen_ = true;
+    return;
+  }
+
+  if (bound_valid && rounding_) {
+    if (std::optional<Candidate> candidate = rounding_(res.x)) {
+      if (try_incumbent(*candidate) && bound >= prune_threshold()) {
+        frontier_bound_ =
+            frontier_seen_ ? std::min(frontier_bound_, bound) : bound;
+        frontier_seen_ = true;
+        return;
+      }
+    }
+  }
+
+  if (!bound_valid) {
+    // The LP did not converge; pick any unfixed integer var to keep making
+    // progress (bound stays -inf so nothing is pruned below).
+    for (lp::VarId v : integer_vars_) {
+      if (cur_lo_[v] < cur_up_[v]) {
+        branch_var = v;
+        found_fractional = true;
+        break;
+      }
+    }
+    if (!found_fractional) return;  // everything fixed yet unsolved: give up
+  }
+
+  const double lp_val = bound_valid ? res.x[branch_var] : 0.5;
+  const double first = lp_val >= 0.5 ? 1.0 : 0.0;
+  for (int child = 0; child < 2; ++child) {
+    const double value = child == 0 ? first : 1.0 - first;
+    std::vector<BoundChange> undo;
+    fix_variable(branch_var, value, undo);
+    dive(depth + 1);
+    for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+      cur_lo_[it->var] = it->lo;
+      cur_up_[it->var] = it->up;
+      simplex_->set_variable_bounds(it->var, it->lo, it->up);
+    }
+    if (stopped_) return;
+  }
+}
+
+Result Solver::solve() {
+  const double start = now_seconds();
+  deadline_ = start + options_.time_limit_seconds;
+  nodes_ = 0;
+  lp_iterations_ = 0;
+  stopped_ = false;
+  frontier_seen_ = false;
+  frontier_bound_ = 0.0;
+  have_root_bound_ = false;
+  root_bound_ = 0.0;
+
+  cur_lo_.resize(problem_.variable_count());
+  cur_up_.resize(problem_.variable_count());
+  for (lp::VarId v = 0; v < problem_.variable_count(); ++v) {
+    cur_lo_[v] = problem_.var_lo(v);
+    cur_up_[v] = problem_.var_up(v);
+  }
+  simplex_ = std::make_unique<lp::IncrementalSimplex>(problem_, options_.lp);
+
+  dive(0);
+
+  Result result;
+  result.nodes = nodes_;
+  result.lp_iterations = lp_iterations_;
+  result.solve_seconds = now_seconds() - start;
+  if (has_incumbent_) {
+    result.objective = incumbent_obj_;
+    result.x = incumbent_x_;
+    if (stopped_) {
+      result.status = Status::kLimitFeasible;
+      result.best_bound = have_root_bound_ ? root_bound_ : -kInf;
+      result.gap = have_root_bound_ && incumbent_obj_ != 0.0
+                       ? (incumbent_obj_ - root_bound_) /
+                             std::abs(incumbent_obj_)
+                       : kInf;
+    } else {
+      result.status = Status::kOptimal;
+      result.best_bound = frontier_seen_
+                              ? std::min(incumbent_obj_, frontier_bound_)
+                              : incumbent_obj_;
+      result.gap = incumbent_obj_ == 0.0
+                       ? 0.0
+                       : (incumbent_obj_ - result.best_bound) /
+                             std::abs(incumbent_obj_);
+    }
+  } else {
+    result.status = stopped_ ? Status::kLimitNoSolution : Status::kInfeasible;
+    result.best_bound = -kInf;
+    result.gap = kInf;
+  }
+  return result;
+}
+
+}  // namespace cellstream::milp

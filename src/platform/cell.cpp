@@ -1,0 +1,74 @@
+#include "platform/cell.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace cellstream {
+
+std::size_t CellPlatform::chip_of(PeId pe) const {
+  CS_ENSURE(pe < pe_count(), "chip_of: PE index out of range");
+  if (chip_count <= 1) return 0;
+  if (pe < ppe_count) return pe * chip_count / ppe_count;
+  const std::size_t spe = pe - ppe_count;
+  return spe * chip_count / std::max<std::size_t>(spe_count, 1);
+}
+
+std::string CellPlatform::pe_name(PeId pe) const {
+  CS_ENSURE(pe < pe_count(), "pe_name: PE index out of range");
+  if (pe < ppe_count) return "PPE" + std::to_string(pe);
+  return "SPE" + std::to_string(pe - ppe_count);
+}
+
+void CellPlatform::validate() const {
+  CS_ENSURE(ppe_count >= 1, "platform: at least one PPE is required");
+  CS_ENSURE(pe_count() >= 1, "platform: no processing elements");
+  CS_ENSURE(interface_bandwidth > 0.0, "platform: interface bandwidth <= 0");
+  CS_ENSURE(eib_bandwidth > 0.0, "platform: EIB bandwidth <= 0");
+  CS_ENSURE(code_bytes <= local_store_bytes,
+            "platform: code larger than the local store");
+  if (spe_count > 0) {
+    CS_ENSURE(spe_dma_slots >= 1, "platform: SPE DMA stack empty");
+    CS_ENSURE(ppe_to_spe_dma_slots >= 1, "platform: PPE->SPE DMA stack empty");
+  }
+  CS_ENSURE(chip_count >= 1, "platform: zero chips");
+  if (chip_count > 1) {
+    CS_ENSURE(cross_chip_bandwidth > 0.0,
+              "platform: cross-chip bandwidth <= 0");
+    CS_ENSURE(ppe_count >= chip_count,
+              "platform: fewer PPEs than chips (each chip needs its PPE)");
+  }
+}
+
+namespace platforms {
+
+CellPlatform playstation3() {
+  CellPlatform p;
+  p.ppe_count = 1;
+  p.spe_count = 6;
+  return p;
+}
+
+CellPlatform qs22_single_cell() {
+  CellPlatform p;
+  p.ppe_count = 1;
+  p.spe_count = 8;
+  return p;
+}
+
+CellPlatform qs22_dual_cell() {
+  CellPlatform p;
+  p.ppe_count = 2;
+  p.spe_count = 16;
+  p.chip_count = 2;
+  return p;
+}
+
+CellPlatform qs22_with_spes(std::size_t spe_count) {
+  CS_ENSURE(spe_count <= 8, "qs22_with_spes: a QS22 Cell has at most 8 SPEs");
+  CellPlatform p = qs22_single_cell();
+  p.spe_count = spe_count;
+  return p;
+}
+
+}  // namespace platforms
+}  // namespace cellstream

@@ -1,0 +1,111 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace cellstream::report {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  CS_ENSURE(!headers_.empty(), "Table: no columns");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  CS_ENSURE(cells.size() == headers_.size(),
+            "Table: row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_numeric_row(const std::vector<double>& cells, int digits) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double value : cells) row.push_back(format_number(value, digits));
+  add_row(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << cells[c];
+      os << std::string(width[c] - cells[c].size(), ' ');
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  std::size_t total = headers_.size() * 2 - 2;
+  for (std::size_t w : width) total += w;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  os << join(headers_, ",") << "\n";
+  for (const auto& row : rows_) os << join(row, ",") << "\n";
+  return os.str();
+}
+
+std::string render_series(const std::string& x_label,
+                          const std::vector<Series>& series, int digits) {
+  std::vector<std::string> headers = {x_label};
+  for (const Series& s : series) headers.push_back(s.name);
+  Table table(std::move(headers));
+
+  // Merge the x values of all series.
+  std::map<double, std::vector<std::string>> rows;
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    for (const auto& [x, y] : series[s].points) {
+      auto& row = rows[x];
+      row.resize(series.size());
+      row[s] = format_number(y, digits);
+    }
+  }
+  for (const auto& [x, cells] : rows) {
+    std::vector<std::string> row = {format_number(x, digits)};
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      row.push_back(s < cells.size() && !cells[s].empty() ? cells[s] : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  return table.to_string();
+}
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = values.front();
+  s.max = values.front();
+  double sum = 0.0;
+  for (double v : values) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1
+                 ? std::sqrt(var / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+}  // namespace cellstream::report

@@ -1,0 +1,60 @@
+#pragma once
+// Plain-text table / series rendering for the benchmark harnesses.
+// Every figure-reproduction bench prints its data through these helpers so
+// output is uniform, diffable and trivially machine-readable (CSV).
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/strings.hpp"  // format_number, used by every report site
+
+namespace cellstream::report {
+
+/// Column-aligned text table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format arbitrary cell types via format_number for
+  /// doubles and to_string otherwise.
+  void add_numeric_row(const std::vector<double>& cells, int digits = 5);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Human-readable aligned rendering.
+  std::string to_string() const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our content).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One named line of an x/y plot.
+struct Series {
+  std::string name;
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Render several series sharing an x axis as one table: column 0 is x,
+/// one column per series (blank where a series has no sample at that x).
+std::string render_series(const std::string& x_label,
+                          const std::vector<Series>& series, int digits = 5);
+
+/// Basic descriptive statistics.
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+};
+
+Summary summarize(const std::vector<double>& values);
+
+}  // namespace cellstream::report

@@ -1,0 +1,232 @@
+#include "runtime/host_runtime.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace cellstream::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct EdgeChannel {
+  std::int64_t capacity = 0;  // packets (analysis buffer depth)
+  std::int64_t base = 0;      // stream index of packets.front()
+  std::int64_t produced = 0;  // total packets ever pushed
+  std::int64_t consumed = 0;  // packets fully used by the consumer
+  std::int64_t max_occupancy = 0;
+  std::deque<Packet> packets;
+
+  const Packet* packet_at(std::int64_t instance) const {
+    if (instance < base) return nullptr;  // already discarded (bug guard)
+    const auto offset = static_cast<std::size_t>(instance - base);
+    return offset < packets.size() ? &packets[offset] : nullptr;
+  }
+};
+
+struct TaskState {
+  std::int64_t next_instance = 0;
+  int peek = 0;
+  std::vector<EdgeId> in_edges;   // graph order
+  std::vector<EdgeId> out_edges;  // graph order
+};
+
+class Runtime {
+ public:
+  Runtime(const SteadyStateAnalysis& analysis, const Mapping& mapping,
+          const std::vector<TaskFunction>& tasks, const RunOptions& options)
+      : graph_(analysis.graph()),
+        mapping_(mapping),
+        tasks_(tasks),
+        opt_(options) {
+    CS_ENSURE(opt_.instances >= 1, "run_stream: empty stream");
+    CS_ENSURE(opt_.wall_timeout_seconds > 0.0, "run_stream: no time budget");
+    CS_ENSURE(tasks.size() == graph_.task_count(),
+              "run_stream: need one TaskFunction per task");
+    for (const TaskFunction& fn : tasks) {
+      CS_ENSURE(fn != nullptr, "run_stream: null TaskFunction");
+    }
+    mapping.validate(analysis.platform());
+
+    edges_.resize(graph_.edge_count());
+    for (EdgeId e = 0; e < graph_.edge_count(); ++e) {
+      edges_[e].capacity = analysis.buffer_depth(e);
+    }
+    states_.resize(graph_.task_count());
+    pe_tasks_.resize(analysis.platform().pe_count());
+    for (TaskId t : graph_.topological_order()) {
+      TaskState& state = states_[t];
+      state.peek = graph_.task(t).peek;
+      state.in_edges = graph_.in_edges(t);
+      state.out_edges = graph_.out_edges(t);
+      pe_tasks_[mapping.pe_of(t)].push_back(t);
+    }
+  }
+
+  RunStats run() {
+    const auto start = Clock::now();
+    deadline_ = start + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                opt_.wall_timeout_seconds));
+    std::vector<std::thread> workers;
+    for (const auto& assigned : pe_tasks_) {
+      if (assigned.empty()) continue;
+      workers.emplace_back([this, &assigned] { worker(assigned); });
+    }
+    for (std::thread& w : workers) w.join();
+    if (failure_) std::rethrow_exception(failure_);
+    CS_ENSURE(!timed_out_, "run_stream: wall timeout — dataflow deadlock or "
+                           "task code hung");
+
+    RunStats stats;
+    stats.wall_seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    stats.throughput =
+        static_cast<double>(opt_.instances) / stats.wall_seconds;
+    stats.max_buffer_occupancy.reserve(edges_.size());
+    for (const EdgeChannel& edge : edges_) {
+      stats.max_buffer_occupancy.push_back(edge.max_occupancy);
+    }
+    stats.tasks_executed = tasks_executed_;
+    return stats;
+  }
+
+ private:
+  bool runnable_locked(TaskId t) const {
+    const TaskState& state = states_[t];
+    const std::int64_t i = state.next_instance;
+    if (i >= opt_.instances) return false;
+    const std::int64_t need = std::min<std::int64_t>(
+        i + state.peek + 1, opt_.instances);
+    for (EdgeId e : state.in_edges) {
+      if (edges_[e].produced < need) return false;
+    }
+    for (EdgeId e : state.out_edges) {
+      const EdgeChannel& edge = edges_[e];
+      if (edge.produced - edge.consumed >= edge.capacity) return false;
+    }
+    return true;
+  }
+
+  // Build the peek window of input packet pointers; valid without the lock
+  // while this task runs because only the consumer advances `consumed`
+  // (std::deque::push_back does not invalidate element references).
+  TaskInputs gather_locked(TaskId t) const {
+    const TaskState& state = states_[t];
+    TaskInputs in;
+    in.instance = state.next_instance;
+    in.stream_length = opt_.instances;
+    in.inputs.resize(state.in_edges.size());
+    for (std::size_t k = 0; k < state.in_edges.size(); ++k) {
+      const EdgeChannel& edge = edges_[state.in_edges[k]];
+      in.inputs[k].resize(static_cast<std::size_t>(state.peek) + 1);
+      for (int d = 0; d <= state.peek; ++d) {
+        in.inputs[k][d] = edge.packet_at(in.instance + d);
+      }
+    }
+    return in;
+  }
+
+  void commit_locked(TaskId t, std::vector<Packet>&& outputs) {
+    TaskState& state = states_[t];
+    CS_ENSURE(outputs.size() == state.out_edges.size(),
+              "run_stream: task '" + graph_.task(t).name + "' returned " +
+                  std::to_string(outputs.size()) + " packets for " +
+                  std::to_string(state.out_edges.size()) + " output edges");
+    for (std::size_t k = 0; k < state.out_edges.size(); ++k) {
+      EdgeChannel& edge = edges_[state.out_edges[k]];
+      edge.packets.push_back(std::move(outputs[k]));
+      ++edge.produced;
+      edge.max_occupancy =
+          std::max(edge.max_occupancy, edge.produced - edge.consumed);
+    }
+    const std::int64_t i = state.next_instance;
+    ++state.next_instance;
+    ++tasks_executed_;
+    // Instances <= i of every input are no longer needed: retire them,
+    // keeping the peek window [i+1, i+peek] alive.
+    for (EdgeId e : state.in_edges) {
+      EdgeChannel& edge = edges_[e];
+      edge.consumed = i + 1;
+      while (edge.base < edge.consumed && !edge.packets.empty()) {
+        edge.packets.pop_front();
+        ++edge.base;
+      }
+    }
+  }
+
+  void worker(const std::vector<TaskId>& assigned) {
+    std::size_t cursor = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!timed_out_ && failure_ == nullptr) {
+      // Find a runnable task, round-robin for fairness.
+      TaskId chosen = 0;
+      bool found = false;
+      bool all_done = true;
+      for (std::size_t probe = 0; probe < assigned.size(); ++probe) {
+        const TaskId t = assigned[(cursor + probe) % assigned.size()];
+        if (states_[t].next_instance < opt_.instances) all_done = false;
+        if (runnable_locked(t)) {
+          chosen = t;
+          cursor = (cursor + probe + 1) % assigned.size();
+          found = true;
+          break;
+        }
+      }
+      if (all_done) return;
+      if (!found) {
+        if (cv_.wait_until(lock, deadline_) == std::cv_status::timeout) {
+          timed_out_ = true;
+          cv_.notify_all();
+          return;
+        }
+        continue;
+      }
+
+      TaskInputs inputs = gather_locked(chosen);
+      lock.unlock();
+      std::vector<Packet> outputs;
+      try {
+        outputs = tasks_[chosen](inputs);
+        lock.lock();
+        commit_locked(chosen, std::move(outputs));
+      } catch (...) {
+        if (!lock.owns_lock()) lock.lock();
+        if (failure_ == nullptr) failure_ = std::current_exception();
+      }
+      cv_.notify_all();
+    }
+  }
+
+  const TaskGraph& graph_;
+  const Mapping& mapping_;
+  const std::vector<TaskFunction>& tasks_;
+  RunOptions opt_;
+
+  std::vector<EdgeChannel> edges_;
+  std::vector<TaskState> states_;
+  std::vector<std::vector<TaskId>> pe_tasks_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  Clock::time_point deadline_{};
+  bool timed_out_ = false;
+  std::exception_ptr failure_ = nullptr;
+  std::uint64_t tasks_executed_ = 0;
+};
+
+}  // namespace
+
+RunStats run_stream(const SteadyStateAnalysis& analysis,
+                    const Mapping& mapping,
+                    const std::vector<TaskFunction>& tasks,
+                    const RunOptions& options) {
+  Runtime runtime(analysis, mapping, tasks, options);
+  return runtime.run();
+}
+
+}  // namespace cellstream::runtime

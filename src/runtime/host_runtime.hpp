@@ -1,0 +1,76 @@
+#pragma once
+// Host execution engine for mapped streaming applications.
+//
+// The paper's Section 6.1 contribution is a runtime framework that
+// executes a task graph on the Cell given a mapping.  src/sim reproduces
+// its *timing* on the modeled hardware; this module reproduces its
+// *function*: it actually runs user-provided task code, pipelined
+// according to a mapping, on host threads standing in for the PEs.
+//
+// Semantics mirror the paper's scheduler:
+//   * every PE (thread) repeatedly selects a runnable task instance —
+//     all inputs present (including the peek look-ahead), all output
+//     buffers with a free slot — and processes it;
+//   * each edge owns a bounded ring of packets sized by the steady-state
+//     analysis (firstPeriod differences), so memory use matches the
+//     schedule's buffer plan and back-pressure is exactly the model's;
+//   * a task with peek = p receives packets for instances i .. i+p of
+//     every input (clamped at the end of the stream, where the missing
+//     look-ahead is passed as null).
+//
+// The engine is deterministic in *values* (each task instance sees exactly
+// the packets the dataflow defines) though not in interleaving.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/steady_state.hpp"
+
+namespace cellstream::runtime {
+
+/// One unit of stream data travelling along an edge.
+using Packet = std::vector<std::byte>;
+
+/// Everything a task sees when processing one instance.
+struct TaskInputs {
+  std::int64_t instance = 0;      ///< Stream index being processed.
+  std::int64_t stream_length = 0; ///< Total instances in this run.
+  /// inputs[e][d]: packet of the task's e-th input edge (in
+  /// TaskGraph::in_edges order) at instance + d, for d = 0 .. peek.
+  /// Entries beyond the end of the stream are nullptr.
+  std::vector<std::vector<const Packet*>> inputs;
+};
+
+/// User task body: consume the inputs, return one packet per *output*
+/// edge (in TaskGraph::out_edges order; empty vector for sinks).
+using TaskFunction = std::function<std::vector<Packet>(const TaskInputs&)>;
+
+struct RunOptions {
+  std::int64_t instances = 1000;
+  /// Abort (throw) if the stream has not finished after this many wall
+  /// seconds — guards tests against deadlocking task code.
+  double wall_timeout_seconds = 120.0;
+};
+
+struct RunStats {
+  double wall_seconds = 0.0;
+  double throughput = 0.0;  ///< instances per wall second
+  /// Per-edge high-water mark of buffered packets (never exceeds the
+  /// analysis' buffer_depth).
+  std::vector<std::int64_t> max_buffer_occupancy;
+  std::uint64_t tasks_executed = 0;
+};
+
+/// Execute `options.instances` stream instances of the analysis' graph
+/// under `mapping`, one worker thread per *used* PE.  `tasks[k]` is the
+/// body of task k; every task must be provided.  Throws on malformed
+/// input, on a task returning the wrong number of packets, and on
+/// timeout.
+RunStats run_stream(const SteadyStateAnalysis& analysis,
+                    const Mapping& mapping,
+                    const std::vector<TaskFunction>& tasks,
+                    const RunOptions& options = {});
+
+}  // namespace cellstream::runtime

@@ -1,0 +1,214 @@
+#include "schedule/periodic_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace cellstream::schedule {
+
+PeriodicSchedule::PeriodicSchedule(const SteadyStateAnalysis& analysis,
+                                   Mapping mapping)
+    : analysis_(&analysis), mapping_(std::move(mapping)) {
+  const TaskGraph& graph = analysis.graph();
+  const CellPlatform& platform = analysis.platform();
+  CS_ENSURE(mapping_.task_count() == graph.task_count(),
+            "PeriodicSchedule: mapping does not match the graph");
+  mapping_.validate(platform);
+
+  period_ = analysis.period(mapping_);
+  CS_ENSURE(period_ > 0.0, "PeriodicSchedule: zero period (empty work?)");
+  first_periods_ = analysis.first_periods();
+
+  // Pack each PE's tasks back to back in topological order.
+  pe_timelines_.assign(platform.pe_count(), {});
+  slot_of_task_.assign(graph.task_count(), {});
+  std::vector<double> cursor(platform.pe_count(), 0.0);
+  for (TaskId t : graph.topological_order()) {
+    const PeId pe = mapping_.pe_of(t);
+    TaskSlot slot;
+    slot.task = t;
+    slot.offset = cursor[pe];
+    slot.duration =
+        platform.is_ppe(pe) ? graph.task(t).wppe : graph.task(t).wspe;
+    cursor[pe] += slot.duration;
+    pe_timelines_[pe].push_back(slot);
+    slot_of_task_[t] = slot;
+  }
+
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    const Edge& edge = graph.edge(e);
+    const PeId src = mapping_.pe_of(edge.from);
+    const PeId dst = mapping_.pe_of(edge.to);
+    if (src == dst) continue;
+    CommDemand demand;
+    demand.edge = e;
+    demand.src = src;
+    demand.dst = dst;
+    demand.bytes = edge.data_bytes;
+    demand.bandwidth_share = edge.data_bytes / period_;
+    comms_.push_back(demand);
+  }
+
+  warmup_periods_ = 0;
+  for (std::int64_t fp : first_periods_) {
+    warmup_periods_ = std::max(warmup_periods_, fp + 1);
+  }
+}
+
+double PeriodicSchedule::task_start(TaskId task, std::int64_t instance) const {
+  CS_ENSURE(task < slot_of_task_.size(), "task_start: bad task");
+  CS_ENSURE(instance >= 0, "task_start: negative instance");
+  const double period_index =
+      static_cast<double>(first_periods_[task] + instance);
+  return period_index * period_ + slot_of_task_[task].offset;
+}
+
+double PeriodicSchedule::task_finish(TaskId task,
+                                     std::int64_t instance) const {
+  return task_start(task, instance) + slot_of_task_[task].duration;
+}
+
+double PeriodicSchedule::stream_makespan(std::int64_t instances) const {
+  CS_ENSURE(instances >= 1, "stream_makespan: empty stream");
+  double makespan = 0.0;
+  for (TaskId t = 0; t < slot_of_task_.size(); ++t) {
+    makespan = std::max(makespan, task_finish(t, instances - 1));
+  }
+  return makespan;
+}
+
+void PeriodicSchedule::validate() const {
+  const TaskGraph& graph = analysis_->graph();
+  const CellPlatform& platform = analysis_->platform();
+  const double tol = 1e-12 + 1e-9 * period_;
+
+  // 1. Slots fit in the period without overlap.
+  for (PeId pe = 0; pe < platform.pe_count(); ++pe) {
+    double cursor = 0.0;
+    for (const TaskSlot& slot : pe_timelines_[pe]) {
+      CS_ENSURE(slot.offset >= cursor - tol,
+                "schedule: overlapping slots on " + platform.pe_name(pe));
+      cursor = slot.offset + slot.duration;
+    }
+    CS_ENSURE(cursor <= period_ + tol,
+              "schedule: " + platform.pe_name(pe) + " busy for " +
+                  format_number(cursor) + "s > period " +
+                  format_number(period_) + "s");
+  }
+
+  // 2. Dependencies: the consumer of instance i (plus its peek lookahead)
+  // runs only after every input instance finished a full period earlier
+  // (one period is reserved for the communication).
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    const Edge& edge = graph.edge(e);
+    const int peek = graph.task(edge.to).peek;
+    const std::int64_t latest_needed = peek;  // instance 0 needs 0..peek
+    const double produced =
+        task_finish(edge.from, latest_needed);
+    const double consumed = task_start(edge.to, 0);
+    const bool remote = mapping_.pe_of(edge.from) != mapping_.pe_of(edge.to);
+    const double slack = remote ? period_ : 0.0;  // communication period
+    CS_ENSURE(consumed + tol >= produced + slack,
+              "schedule: " + graph.task(edge.to).name + " starts before " +
+                  graph.task(edge.from).name + " delivered its data");
+  }
+
+  // 3. Average communication rates respect interface bandwidth.
+  std::vector<double> out_rate(platform.pe_count(), 0.0);
+  std::vector<double> in_rate(platform.pe_count(), 0.0);
+  for (const CommDemand& c : comms_) {
+    out_rate[c.src] += c.bandwidth_share;
+    in_rate[c.dst] += c.bandwidth_share;
+  }
+  for (TaskId t = 0; t < graph.task_count(); ++t) {
+    const PeId pe = mapping_.pe_of(t);
+    in_rate[pe] += graph.task(t).read_bytes / period_;
+    out_rate[pe] += graph.task(t).write_bytes / period_;
+  }
+  for (PeId pe = 0; pe < platform.pe_count(); ++pe) {
+    const double bw = platform.interface_bandwidth * (1.0 + 1e-9);
+    CS_ENSURE(out_rate[pe] <= bw, "schedule: outgoing rate of " +
+                                      platform.pe_name(pe) + " above bw");
+    CS_ENSURE(in_rate[pe] <= bw, "schedule: incoming rate of " +
+                                     platform.pe_name(pe) + " above bw");
+  }
+}
+
+std::string PeriodicSchedule::to_text() const {
+  const TaskGraph& graph = analysis_->graph();
+  const CellPlatform& platform = analysis_->platform();
+  std::ostringstream os;
+  os << "period " << format_number(period_ * 1e3, 6) << " ms, throughput "
+     << format_number(throughput(), 6) << " instances/s, warmup "
+     << warmup_periods_ << " periods\n";
+  for (PeId pe = 0; pe < platform.pe_count(); ++pe) {
+    if (pe_timelines_[pe].empty()) continue;
+    os << platform.pe_name(pe) << ":\n";
+    for (const TaskSlot& slot : pe_timelines_[pe]) {
+      os << "  +" << format_number(slot.offset * 1e3, 5) << " ms  "
+         << graph.task(slot.task).name << " ("
+         << format_number(slot.duration * 1e3, 5) << " ms, first period "
+         << first_periods_[slot.task] << ")\n";
+    }
+  }
+  if (!comms_.empty()) {
+    os << "steady-state transfers per period:\n";
+    for (const CommDemand& c : comms_) {
+      os << "  " << graph.task(graph.edge(c.edge).from).name << " -> "
+         << graph.task(graph.edge(c.edge).to).name << ": "
+         << format_bytes(c.bytes) << " (" << platform.pe_name(c.src) << " -> "
+         << platform.pe_name(c.dst) << ", "
+         << format_bytes(c.bandwidth_share) << "/s)\n";
+    }
+  }
+  return os.str();
+}
+
+std::string PeriodicSchedule::to_gantt(std::int64_t periods,
+                                       std::size_t width) const {
+  CS_ENSURE(periods >= 1 && width >= 8, "to_gantt: degenerate dimensions");
+  const TaskGraph& graph = analysis_->graph();
+  const CellPlatform& platform = analysis_->platform();
+  const double horizon = static_cast<double>(periods) * period_;
+  std::ostringstream os;
+  os << "one column = " << format_number(horizon / width * 1e3, 4)
+     << " ms, '|' = period boundary, '.' = idle\n";
+  for (PeId pe = 0; pe < platform.pe_count(); ++pe) {
+    if (pe_timelines_[pe].empty()) continue;
+    std::string row(width, '.');
+    for (const TaskSlot& slot : pe_timelines_[pe]) {
+      // Letters cycle per task id; the first period of a task may start
+      // late in the horizon (warmup).
+      const char mark =
+          static_cast<char>('A' + static_cast<int>(slot.task % 26));
+      for (std::int64_t p = first_periods_[slot.task]; p < periods; ++p) {
+        const double begin = static_cast<double>(p) * period_ + slot.offset;
+        const double end = begin + slot.duration;
+        const auto c0 = static_cast<std::size_t>(begin / horizon * width);
+        auto c1 = static_cast<std::size_t>(std::ceil(end / horizon * width));
+        c1 = std::min(c1, width);
+        for (std::size_t c = c0; c < std::max(c1, c0 + 1) && c < width; ++c) {
+          row[c] = mark;
+        }
+      }
+    }
+    // Period boundaries.
+    for (std::int64_t p = 1; p < periods; ++p) {
+      const auto c = static_cast<std::size_t>(
+          static_cast<double>(p) * period_ / horizon * width);
+      if (c < width && row[c] == '.') row[c] = '|';
+    }
+    os << platform.pe_name(pe) << " " << row << "\n";
+  }
+  os << "legend:";
+  for (TaskId t = 0; t < std::min<TaskId>(graph.task_count(), 26); ++t) {
+    os << " " << static_cast<char>('A' + static_cast<int>(t % 26)) << "="
+       << graph.task(t).name;
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace cellstream::schedule

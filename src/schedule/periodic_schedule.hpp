@@ -1,0 +1,100 @@
+#pragma once
+// Explicit periodic steady-state schedule (paper Section 3.1).
+//
+// Given a mapping, the paper reconstructs a complete periodic schedule:
+// after an initialization phase, every processing element repeats the same
+// period of length T.  During one period, the PE hosting task T_k
+// processes one instance of it, while the data D_{k,l} of the *previous*
+// instance travels to each successor's host and the inputs of the *next*
+// instance arrive.  Task T_k handles instance i during absolute period
+// firstPeriod(T_k) + i.
+//
+// Because communications follow the bounded-multiport model, they need no
+// intra-period ordering — only computations are laid out inside a period
+// (sequentially, in topological order, on each PE).  This module builds
+// that static artifact: the object one would actually load onto the Cell,
+// with offsets, per-edge communication demands, validation and a textual
+// Gantt rendering.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/steady_state.hpp"
+
+namespace cellstream::schedule {
+
+/// One computation slot inside the period of a PE.
+struct TaskSlot {
+  TaskId task = 0;
+  double offset = 0.0;    ///< Start within the period, seconds.
+  double duration = 0.0;  ///< wppe or wspe of the task on its host.
+};
+
+/// One steady-state communication: data flowing every period.
+struct CommDemand {
+  EdgeId edge = 0;
+  PeId src = 0;
+  PeId dst = 0;
+  double bytes = 0.0;          ///< Per period (= per instance).
+  double bandwidth_share = 0.0;  ///< bytes / period, average rate needed.
+};
+
+class PeriodicSchedule {
+ public:
+  PeriodicSchedule(const SteadyStateAnalysis& analysis, Mapping mapping);
+
+  const Mapping& mapping() const { return mapping_; }
+  double period() const { return period_; }
+  double throughput() const { return 1.0 / period_; }
+
+  /// Start offsets of each task inside its host's period (topological
+  /// order per PE, packed back to back).
+  const std::vector<std::vector<TaskSlot>>& pe_timelines() const {
+    return pe_timelines_;
+  }
+
+  /// Steady-state communications (remote edges only).
+  const std::vector<CommDemand>& comm_demands() const { return comms_; }
+
+  /// Number of periods before every task is active (max firstPeriod + 1):
+  /// the initialization phase of the paper's Fig. 3.
+  std::int64_t warmup_periods() const { return warmup_periods_; }
+  double warmup_seconds() const {
+    return static_cast<double>(warmup_periods_) * period_;
+  }
+
+  /// Absolute start / completion time of one task instance under the
+  /// periodic schedule.
+  double task_start(TaskId task, std::int64_t instance) const;
+  double task_finish(TaskId task, std::int64_t instance) const;
+
+  /// Completion time of a whole stream of `instances` (when the last task
+  /// finishes its last instance).
+  double stream_makespan(std::int64_t instances) const;
+
+  /// Throws Error if the schedule violates any invariant: slot overlap,
+  /// slots exceeding the period, a consumer scheduled before its input
+  /// can have arrived, or average communication rates above interface
+  /// bandwidth.  (Constructed schedules always pass; exposed for tests
+  /// and as executable documentation of the schedule's contract.)
+  void validate() const;
+
+  /// Human-readable timetable: per PE, the slots of one period.
+  std::string to_text() const;
+
+  /// ASCII Gantt chart of `periods` periods x all PEs.
+  std::string to_gantt(std::int64_t periods = 4, std::size_t width = 64) const;
+
+ private:
+  const SteadyStateAnalysis* analysis_;
+  Mapping mapping_;
+  double period_ = 0.0;
+  std::vector<std::int64_t> first_periods_;
+  std::vector<std::vector<TaskSlot>> pe_timelines_;
+  std::vector<TaskSlot> slot_of_task_;  // indexed by task
+  std::vector<CommDemand> comms_;
+  std::int64_t warmup_periods_ = 0;
+};
+
+}  // namespace cellstream::schedule

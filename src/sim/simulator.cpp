@@ -1,0 +1,526 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "des/engine.hpp"
+#include "des/flow_network.hpp"
+#include "support/strings.hpp"
+
+namespace cellstream::sim {
+
+namespace {
+
+using des::NodeId;
+
+/// One unit of asynchronous communication a PE can initiate during its
+/// communication phase.
+struct Channel {
+  enum class Kind { kEdgeFetch, kMemRead, kMemWrite };
+  Kind kind;
+  std::size_t index;  // EdgeId for kEdgeFetch, TaskId otherwise
+};
+
+struct EdgeState {
+  PeId src = 0, dst = 0;
+  bool remote = false;
+  std::int64_t depth = 0;   // buffer capacity in instances
+  double bytes = 0.0;
+  std::int64_t produced = 0;  // instances written by the producer
+  std::int64_t fetched = 0;   // instances landed at the consumer (remote)
+  std::int64_t inflight = 0;  // DMAs in the air (remote)
+  std::int64_t consumed = 0;  // instances the consumer is finished with
+};
+
+struct TaskState {
+  PeId pe = 0;
+  double work = 0.0;  // seconds per instance on its host
+  int peek = 0;
+  std::int64_t next_instance = 0;
+  // Main-memory streams.
+  double read_bytes = 0.0;
+  std::int64_t mem_fetched = 0, mem_inflight = 0;
+  double write_bytes = 0.0;
+  std::int64_t writes_started = 0, writes_done = 0;
+};
+
+struct PeState {
+  std::vector<TaskId> tasks;       // topological order
+  std::vector<Channel> channels;   // communication work this PE initiates
+  std::size_t task_cursor = 0;
+  std::size_t channel_cursor = 0;
+  bool busy = false;
+  bool wake_scheduled = false;
+  std::size_t gets_outstanding = 0;   // SPE MFC queue (<= spe_dma_slots)
+  std::size_t proxy_outstanding = 0;  // PPE-issued reads from this SPE (<= 8)
+  double busy_seconds = 0.0;
+  double overhead_seconds = 0.0;
+};
+
+class Simulator {
+ public:
+  Simulator(const SteadyStateAnalysis& analysis, const Mapping& mapping,
+            const SimOptions& options)
+      : ss_(analysis),
+        graph_(analysis.graph()),
+        platform_(analysis.platform()),
+        mapping_(mapping),
+        opt_(options),
+        net_(make_network()) {
+    CS_ENSURE(opt_.instances >= 1, "simulate: empty stream");
+    mapping.validate(platform_);
+    CS_ENSURE(mapping.task_count() == graph_.task_count(),
+              "simulate: mapping does not match the graph");
+    if (opt_.enforce_local_store) {
+      const ResourceUsage u = ss_.usage(mapping);
+      for (PeId pe = platform_.ppe_count; pe < platform_.pe_count(); ++pe) {
+        CS_ENSURE(u.buffer_bytes[pe] <=
+                      static_cast<double>(platform_.buffer_budget()),
+                  "simulate: buffers of " + platform_.pe_name(pe) +
+                      " exceed the local store (" +
+                      format_bytes(u.buffer_bytes[pe]) + "); mapping cannot "
+                      "be loaded on real hardware");
+      }
+    }
+    build_state();
+    register_chip_links();
+  }
+
+  SimResult run();
+
+ private:
+  des::FlowNetwork make_network() {
+    const std::size_t n = platform_.pe_count();
+    std::vector<double> out_cap(n + 1, platform_.interface_bandwidth);
+    std::vector<double> in_cap(n + 1, platform_.interface_bandwidth);
+    out_cap[n] = des::FlowNetwork::infinity();  // main memory
+    in_cap[n] = des::FlowNetwork::infinity();
+    return des::FlowNetwork(engine_, std::move(out_cap), std::move(in_cap));
+  }
+
+  void build_state();
+  void register_chip_links();
+
+  des::TransferId start_edge_transfer(const EdgeState& e, PeId dst,
+                                      std::function<void()> done) {
+    if (platform_.chip_count > 1 && platform_.crosses_chips(e.src, dst)) {
+      return net_.start_transfer_over(
+          {net_.out_port(e.src), xchip_out_[platform_.chip_of(e.src)],
+           xchip_in_[platform_.chip_of(dst)], net_.in_port(dst)},
+          e.bytes, std::move(done));
+    }
+    return net_.start_transfer(e.src, dst, e.bytes, std::move(done));
+  }
+
+  void wake(PeId pe);
+  void step(PeId pe);
+  std::optional<Channel> find_issuable(PeId pe);
+  bool channel_issuable(PeId pe, const Channel& channel) const;
+  void issue(PeId pe, const Channel& channel);
+  std::optional<TaskId> find_runnable(PeId pe);
+  bool task_runnable(TaskId t) const;
+  void complete_instance(TaskId t);
+  void advance_done_counter(std::int64_t completed_instance);
+
+  std::int64_t stream_len() const {
+    return static_cast<std::int64_t>(opt_.instances);
+  }
+
+  const SteadyStateAnalysis& ss_;
+  const TaskGraph& graph_;
+  const CellPlatform& platform_;
+  Mapping mapping_;
+  SimOptions opt_;
+
+  // Main memory sits on the extra flow-network node after the PEs.
+  NodeId memory_node() const { return platform_.pe_count(); }
+
+  des::Engine engine_;
+  des::FlowNetwork net_;
+  // Per-chip inter-chip link resources (Section 7 extension); empty on
+  // single-chip platforms.
+  std::vector<des::ResourceId> xchip_out_, xchip_in_;
+
+  std::vector<EdgeState> edges_;
+  std::vector<TaskState> tasks_;
+  std::vector<PeState> pes_;
+
+  std::int64_t done_count_ = 0;
+  std::int64_t tasks_at_done_ = 0;
+  std::vector<double> completion_times_;
+  std::uint64_t dma_transfers_ = 0;
+  std::vector<TraceEvent> trace_;
+};
+
+void Simulator::register_chip_links() {
+  if (platform_.chip_count <= 1) return;
+  for (std::size_t chip = 0; chip < platform_.chip_count; ++chip) {
+    xchip_out_.push_back(net_.add_resource(platform_.cross_chip_bandwidth));
+    xchip_in_.push_back(net_.add_resource(platform_.cross_chip_bandwidth));
+  }
+}
+
+void Simulator::build_state() {
+  edges_.resize(graph_.edge_count());
+  for (EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    const Edge& edge = graph_.edge(e);
+    EdgeState& state = edges_[e];
+    state.src = mapping_.pe_of(edge.from);
+    state.dst = mapping_.pe_of(edge.to);
+    state.remote = state.src != state.dst;
+    state.depth = ss_.buffer_depth(e);
+    state.bytes = edge.data_bytes;
+  }
+
+  tasks_.resize(graph_.task_count());
+  pes_.resize(platform_.pe_count());
+  for (TaskId t : graph_.topological_order()) {
+    const Task& task = graph_.task(t);
+    TaskState& state = tasks_[t];
+    state.pe = mapping_.pe_of(t);
+    state.work = platform_.is_ppe(state.pe) ? task.wppe : task.wspe;
+    state.peek = task.peek;
+    state.read_bytes = task.read_bytes;
+    state.write_bytes = task.write_bytes;
+    pes_[state.pe].tasks.push_back(t);
+  }
+
+  // Communication channels each PE polls during its communication phase:
+  // remote-edge fetches it is the consumer of, then its tasks' memory
+  // streams.
+  for (EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    if (edges_[e].remote) {
+      pes_[edges_[e].dst].channels.push_back(
+          {Channel::Kind::kEdgeFetch, e});
+    }
+  }
+  for (TaskId t = 0; t < graph_.task_count(); ++t) {
+    if (tasks_[t].read_bytes > 0.0) {
+      pes_[tasks_[t].pe].channels.push_back({Channel::Kind::kMemRead, t});
+    }
+    if (tasks_[t].write_bytes > 0.0) {
+      pes_[tasks_[t].pe].channels.push_back({Channel::Kind::kMemWrite, t});
+    }
+  }
+
+  completion_times_.assign(opt_.instances, 0.0);
+  done_count_ = 0;
+  tasks_at_done_ = static_cast<std::int64_t>(graph_.task_count());
+}
+
+void Simulator::wake(PeId pe) {
+  PeState& state = pes_[pe];
+  if (state.busy || state.wake_scheduled) return;
+  state.wake_scheduled = true;
+  engine_.schedule_in(0.0, [this, pe] {
+    pes_[pe].wake_scheduled = false;
+    step(pe);
+  });
+}
+
+void Simulator::step(PeId pe) {
+  PeState& state = pes_[pe];
+  if (state.busy) return;
+
+  // Communication phase: initiate one eligible transfer (issuing a DMA
+  // interrupts the core briefly; the transfer itself then proceeds in the
+  // background through the flow network).
+  if (const std::optional<Channel> channel = find_issuable(pe)) {
+    state.busy = true;
+    engine_.schedule_in(opt_.dma_issue_overhead, [this, pe, ch = *channel] {
+      PeState& s = pes_[pe];
+      s.busy = false;
+      s.overhead_seconds += opt_.dma_issue_overhead;
+      issue(pe, ch);
+      step(pe);
+    });
+    return;
+  }
+
+  // Computation phase: process one instance of a runnable task.
+  if (const std::optional<TaskId> task = find_runnable(pe)) {
+    const double duration = opt_.dispatch_overhead + tasks_[*task].work;
+    state.busy = true;
+    engine_.schedule_in(duration, [this, pe, t = *task] {
+      PeState& s = pes_[pe];
+      s.busy = false;
+      s.overhead_seconds += opt_.dispatch_overhead;
+      s.busy_seconds += tasks_[t].work;
+      if (opt_.record_trace) {
+        trace_.push_back({TraceEvent::Kind::kCompute, graph_.task(t).name,
+                          pe, engine_.now() - tasks_[t].work, engine_.now(),
+                          tasks_[t].next_instance});
+      }
+      complete_instance(t);
+      step(pe);
+    });
+    return;
+  }
+  // Nothing to do: stay idle until an event wakes us.
+}
+
+bool Simulator::channel_issuable(PeId pe, const Channel& channel) const {
+  const PeState& state = pes_[pe];
+  const bool is_spe = platform_.is_spe(pe);
+  switch (channel.kind) {
+    case Channel::Kind::kEdgeFetch: {
+      const EdgeState& e = edges_[channel.index];
+      const std::int64_t next_fetch = e.fetched + e.inflight;
+      if (next_fetch >= e.produced) return false;             // nothing new
+      if (next_fetch - e.consumed >= e.depth) return false;   // in-buf full
+      if (is_spe) {
+        if (state.gets_outstanding >= platform_.spe_dma_slots) return false;
+      } else if (platform_.is_spe(e.src)) {
+        // PPE reading from a SPE local store uses that SPE's proxy stack.
+        if (pes_[e.src].proxy_outstanding >= platform_.ppe_to_spe_dma_slots) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case Channel::Kind::kMemRead: {
+      const TaskState& t = tasks_[channel.index];
+      const std::int64_t next_fetch = t.mem_fetched + t.mem_inflight;
+      if (next_fetch >= stream_len()) return false;  // stream exhausted
+      if (next_fetch - t.next_instance >=
+          static_cast<std::int64_t>(opt_.memory_stream_depth)) {
+        return false;
+      }
+      return !is_spe || state.gets_outstanding < platform_.spe_dma_slots;
+    }
+    case Channel::Kind::kMemWrite: {
+      const TaskState& t = tasks_[channel.index];
+      if (t.writes_started >= t.next_instance) return false;  // no new data
+      return !is_spe || state.gets_outstanding < platform_.spe_dma_slots;
+    }
+  }
+  return false;
+}
+
+std::optional<Channel> Simulator::find_issuable(PeId pe) {
+  PeState& state = pes_[pe];
+  const std::size_t count = state.channels.size();
+  for (std::size_t probe = 0; probe < count; ++probe) {
+    const std::size_t idx = (state.channel_cursor + probe) % count;
+    if (channel_issuable(pe, state.channels[idx])) {
+      state.channel_cursor = (idx + 1) % count;
+      return state.channels[idx];
+    }
+  }
+  return std::nullopt;
+}
+
+void Simulator::issue(PeId pe, const Channel& channel) {
+  PeState& state = pes_[pe];
+  const bool is_spe = platform_.is_spe(pe);
+  ++dma_transfers_;
+  switch (channel.kind) {
+    case Channel::Kind::kEdgeFetch: {
+      const EdgeId eid = channel.index;
+      EdgeState& e = edges_[eid];
+      ++e.inflight;
+      const bool proxy = !is_spe && platform_.is_spe(e.src);
+      if (is_spe) ++state.gets_outstanding;
+      if (proxy) ++pes_[e.src].proxy_outstanding;
+      const double t0 = engine_.now();
+      const std::int64_t inst = e.fetched + e.inflight - 1;
+      start_edge_transfer(e, pe, [this, eid, pe, proxy, t0, inst] {
+        EdgeState& edge = edges_[eid];
+        --edge.inflight;
+        ++edge.fetched;  // consumer has the data; producer slot unlocked
+        if (platform_.is_spe(pe)) --pes_[pe].gets_outstanding;
+        if (proxy) --pes_[edge.src].proxy_outstanding;
+        if (opt_.record_trace) {
+          const Edge& ge = graph_.edge(eid);
+          trace_.push_back({TraceEvent::Kind::kTransfer,
+                            graph_.task(ge.from).name + "->" +
+                                graph_.task(ge.to).name,
+                            pe, t0, engine_.now(), inst});
+        }
+        wake(edge.src);  // output buffer slot freed
+        wake(pe);        // input data available
+      });
+      return;
+    }
+    case Channel::Kind::kMemRead: {
+      const TaskId tid = channel.index;
+      TaskState& t = tasks_[tid];
+      ++t.mem_inflight;
+      if (is_spe) ++state.gets_outstanding;
+      const double t0 = engine_.now();
+      net_.start_transfer(memory_node(), pe, t.read_bytes,
+                          [this, tid, pe, t0] {
+        TaskState& task = tasks_[tid];
+        --task.mem_inflight;
+        ++task.mem_fetched;
+        if (platform_.is_spe(pe)) --pes_[pe].gets_outstanding;
+        if (opt_.record_trace) {
+          trace_.push_back({TraceEvent::Kind::kTransfer,
+                            "read:" + graph_.task(tid).name, pe, t0,
+                            engine_.now(), task.mem_fetched - 1});
+        }
+        wake(pe);
+      });
+      return;
+    }
+    case Channel::Kind::kMemWrite: {
+      const TaskId tid = channel.index;
+      TaskState& t = tasks_[tid];
+      ++t.writes_started;
+      if (is_spe) ++state.gets_outstanding;
+      const double t0 = engine_.now();
+      net_.start_transfer(pe, memory_node(), t.write_bytes,
+                          [this, tid, pe, t0] {
+        TaskState& task = tasks_[tid];
+        ++task.writes_done;
+        if (platform_.is_spe(pe)) --pes_[pe].gets_outstanding;
+        if (opt_.record_trace) {
+          trace_.push_back({TraceEvent::Kind::kTransfer,
+                            "write:" + graph_.task(tid).name, pe, t0,
+                            engine_.now(), task.writes_done - 1});
+        }
+        wake(pe);
+      });
+      return;
+    }
+  }
+}
+
+bool Simulator::task_runnable(TaskId tid) const {
+  const TaskState& t = tasks_[tid];
+  const std::int64_t i = t.next_instance;
+  if (i >= stream_len()) return false;
+
+  // Inputs: instance i plus up to peek following ones (clamped at the end
+  // of the stream, where no further instances exist).
+  const std::int64_t need = std::min(i + t.peek + 1, stream_len());
+  for (EdgeId e : graph_.in_edges(tid)) {
+    const EdgeState& edge = edges_[e];
+    const std::int64_t available = edge.remote ? edge.fetched : edge.produced;
+    if (available < need) return false;
+  }
+  if (t.read_bytes > 0.0 && t.mem_fetched < i + 1) return false;
+
+  // Output buffers: one free slot per out-edge (producer side frees on
+  // remote fetch / local consumption).
+  for (EdgeId e : graph_.out_edges(tid)) {
+    const EdgeState& edge = edges_[e];
+    const std::int64_t freed = edge.remote ? edge.fetched : edge.consumed;
+    if (edge.produced - freed >= edge.depth) return false;
+  }
+  if (t.write_bytes > 0.0 &&
+      i - t.writes_done >=
+          static_cast<std::int64_t>(opt_.memory_stream_depth)) {
+    return false;
+  }
+  return true;
+}
+
+std::optional<TaskId> Simulator::find_runnable(PeId pe) {
+  PeState& state = pes_[pe];
+  const std::size_t count = state.tasks.size();
+  for (std::size_t probe = 0; probe < count; ++probe) {
+    const std::size_t idx = (state.task_cursor + probe) % count;
+    if (task_runnable(state.tasks[idx])) {
+      state.task_cursor = (idx + 1) % count;
+      return state.tasks[idx];
+    }
+  }
+  return std::nullopt;
+}
+
+void Simulator::complete_instance(TaskId tid) {
+  TaskState& t = tasks_[tid];
+  const std::int64_t i = t.next_instance;
+  t.next_instance = i + 1;
+
+  for (EdgeId e : graph_.out_edges(tid)) {
+    EdgeState& edge = edges_[e];
+    ++edge.produced;
+    if (edge.remote) wake(edge.dst);  // consumer may fetch now
+  }
+  for (EdgeId e : graph_.in_edges(tid)) {
+    edges_[e].consumed = i + 1;  // instances <= i are no longer needed
+  }
+  advance_done_counter(i);
+}
+
+void Simulator::advance_done_counter(std::int64_t completed_instance) {
+  // Only tasks crossing the current frontier move the done counter.
+  if (completed_instance != done_count_) return;
+  --tasks_at_done_;
+  while (tasks_at_done_ == 0) {
+    completion_times_[done_count_] = engine_.now();
+    ++done_count_;
+    if (done_count_ >= stream_len()) return;
+    tasks_at_done_ = 0;
+    for (const TaskState& t : tasks_) {
+      if (t.next_instance == done_count_) ++tasks_at_done_;
+    }
+  }
+}
+
+SimResult Simulator::run() {
+  for (PeId pe = 0; pe < platform_.pe_count(); ++pe) wake(pe);
+  engine_.run_until(opt_.max_simulated_seconds);
+  CS_ENSURE(done_count_ >= stream_len(),
+            "simulate: stream did not finish within " +
+                format_number(opt_.max_simulated_seconds) +
+                " simulated seconds (" + std::to_string(done_count_) + "/" +
+                std::to_string(stream_len()) + " instances done) — " +
+                "deadlock or overload");
+
+  SimResult result;
+  result.completion_times = std::move(completion_times_);
+  result.makespan = result.completion_times.back();
+  result.overall_throughput =
+      static_cast<double>(opt_.instances) / result.makespan;
+  // Steady state is measured over the middle half of the stream: the
+  // first quarter excludes the pipeline fill, the last quarter excludes
+  // the drain (during which completions of the final instances bunch up
+  // and would overstate the rate).
+  const std::size_t lo = opt_.instances / 4;
+  const std::size_t hi = (3 * opt_.instances) / 4;
+  if (lo >= 1 && hi > lo &&
+      result.completion_times[hi - 1] > result.completion_times[lo - 1]) {
+    result.steady_throughput =
+        static_cast<double>(hi - lo) /
+        (result.completion_times[hi - 1] - result.completion_times[lo - 1]);
+  } else {
+    result.steady_throughput = result.overall_throughput;
+  }
+  result.pe_busy_seconds.resize(platform_.pe_count());
+  result.pe_overhead_seconds.resize(platform_.pe_count());
+  for (PeId pe = 0; pe < platform_.pe_count(); ++pe) {
+    result.pe_busy_seconds[pe] = pes_[pe].busy_seconds;
+    result.pe_overhead_seconds[pe] = pes_[pe].overhead_seconds;
+  }
+  result.dma_transfers = dma_transfers_;
+  result.trace = std::move(trace_);
+  return result;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::size_t, double>> SimResult::windowed_throughput(
+    std::size_t window, std::size_t stride) const {
+  CS_ENSURE(window >= 1 && stride >= 1, "windowed_throughput: bad window");
+  std::vector<std::pair<std::size_t, double>> out;
+  for (std::size_t i = window; i < completion_times.size(); i += stride) {
+    const double dt = completion_times[i] - completion_times[i - window];
+    if (dt > 0.0) {
+      out.emplace_back(i, static_cast<double>(window) / dt);
+    }
+  }
+  return out;
+}
+
+SimResult simulate(const SteadyStateAnalysis& analysis, const Mapping& mapping,
+                   const SimOptions& options) {
+  Simulator simulator(analysis, mapping, options);
+  return simulator.run();
+}
+
+}  // namespace cellstream::sim

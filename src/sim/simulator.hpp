@@ -1,0 +1,83 @@
+#pragma once
+// Discrete-event simulator of a mapped streaming application on the Cell.
+//
+// This is the stand-in for the paper's PlayStation 3 / IBM QS22 runs (the
+// hardware is long discontinued; see DESIGN.md).  It executes the same
+// scheduler state machine as the paper's framework (Fig. 4): every PE
+// cyclically alternates a *communication phase* — watch completed DMAs,
+// issue eligible "Get" commands (each interrupting the core for a small
+// issue overhead, since SPEs are not multi-threaded) — and a *computation
+// phase* — select a runnable task instance, process it, signal the new
+// data.  Modeled resources:
+//
+//   * unrelated-machine compute costs (wppe / wspe),
+//   * per-PE bidirectional interfaces shared max-min fairly
+//     (des::FlowNetwork), memory traffic included,
+//   * the receiver-reads DMA protocol with the Cell's queue limits:
+//     at most 16 outstanding SPE-issued DMAs per SPE, at most 8
+//     outstanding PPE-issued DMAs per source SPE,
+//   * bounded stream buffers sized by the steady-state analysis
+//     (firstPeriod differences), duplicated at both endpoints,
+//   * per-instance dispatch overhead (the source of the paper's ~5 %
+//     model-vs-measurement gap).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/steady_state.hpp"
+#include "sim/trace.hpp"
+
+namespace cellstream::sim {
+
+struct SimOptions {
+  /// Stream length in instances.
+  std::size_t instances = 10000;
+  /// PE time consumed by initiating one DMA / memcpy (computation is
+  /// interrupted, then resumes — paper Section 4.1).
+  double dma_issue_overhead = 0.5e-6;
+  /// Per-task-instance scheduling cost (select task, check resources,
+  /// signal dependants — paper Fig. 4a).
+  double dispatch_overhead = 1.0e-6;
+  /// Buffer slots for each task's main-memory read/write streams
+  /// (double-buffering and a bit of slack).
+  std::size_t memory_stream_depth = 4;
+  /// Refuse mappings whose buffers overflow a SPE local store (a real
+  /// Cell could not even load them).  DMA-count violations are *not*
+  /// rejected: the runtime simply serializes, as real hardware would.
+  bool enforce_local_store = true;
+  /// Simulated-seconds safety net against pathological configurations.
+  double max_simulated_seconds = 1e6;
+  /// Record a full execution trace (see sim/trace.hpp).  Off by default:
+  /// a 10k-instance run generates millions of events.
+  bool record_trace = false;
+};
+
+struct SimResult {
+  /// completion_times[i]: simulated second at which instance i left the
+  /// last task of the graph.
+  std::vector<double> completion_times;
+  double makespan = 0.0;           ///< Completion time of the last instance.
+  double overall_throughput = 0.0; ///< instances / makespan.
+  /// Throughput measured over the middle half of the stream (pipeline
+  /// fill and drain excluded).
+  double steady_throughput = 0.0;
+
+  std::vector<double> pe_busy_seconds;      ///< Compute time per PE.
+  std::vector<double> pe_overhead_seconds;  ///< Dispatch + DMA-issue time.
+  std::uint64_t dma_transfers = 0;          ///< Total transfers issued.
+  /// Execution trace (empty unless SimOptions::record_trace).
+  std::vector<TraceEvent> trace;
+
+  /// Sliding-window throughput curve (the paper's Fig. 6): one sample per
+  /// completed instance index multiple of `stride`, computed over the
+  /// trailing `window` instances.
+  std::vector<std::pair<std::size_t, double>> windowed_throughput(
+      std::size_t window = 250, std::size_t stride = 100) const;
+};
+
+/// Simulate `mapping` on the analysis' graph/platform.  Throws on
+/// infeasible local-store usage (when enforced) or malformed input.
+SimResult simulate(const SteadyStateAnalysis& analysis, const Mapping& mapping,
+                   const SimOptions& options = {});
+
+}  // namespace cellstream::sim

@@ -1,0 +1,77 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace cellstream::sim {
+
+namespace {
+
+// Escape the few JSON-special characters our names can contain.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events,
+                        const CellPlatform& platform) {
+  out << "[\n";
+  // Thread-name metadata: one lane per PE for compute, one for transfers.
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "  " << line;
+  };
+  for (PeId pe = 0; pe < platform.pe_count(); ++pe) {
+    emit("{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(pe) +
+         ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+         platform.pe_name(pe) + "\"}}");
+    emit("{\"ph\":\"M\",\"pid\":0,\"tid\":" +
+         std::to_string(platform.pe_count() + pe) +
+         ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+         platform.pe_name(pe) + " transfers\"}}");
+  }
+  for (const TraceEvent& e : events) {
+    CS_ENSURE(e.end >= e.start, "write_chrome_trace: negative duration");
+    const std::size_t lane =
+        e.kind == TraceEvent::Kind::kCompute ? e.pe
+                                             : platform.pe_count() + e.pe;
+    std::ostringstream line;
+    line << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << lane << ",\"name\":\""
+         << json_escape(e.name) << "\",\"ts\":" << e.start * 1e6
+         << ",\"dur\":" << (e.end - e.start) * 1e6
+         << ",\"cat\":\""
+         << (e.kind == TraceEvent::Kind::kCompute ? "compute" : "transfer")
+         << "\"";
+    if (e.instance >= 0) {
+      line << ",\"args\":{\"instance\":" << e.instance << "}";
+    }
+    line << "}";
+    emit(line.str());
+  }
+  out << "\n]\n";
+}
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events,
+                              const CellPlatform& platform) {
+  std::ostringstream os;
+  write_chrome_trace(os, events, platform);
+  return os.str();
+}
+
+}  // namespace cellstream::sim

@@ -1,0 +1,43 @@
+#pragma once
+// Execution traces of the simulated Cell and a chrome://tracing exporter.
+//
+// With SimOptions::record_trace, the simulator logs every computation slot
+// and every DMA transfer.  write_chrome_trace() renders them in the Trace
+// Event Format, so a run can be inspected interactively in any Chromium
+// browser (chrome://tracing) or in Perfetto: one row per processing
+// element with its task executions, plus one row per PE for the transfers
+// it received.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/task_graph.hpp"
+#include "platform/cell.hpp"
+
+namespace cellstream::sim {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kCompute,   ///< A task instance executing on a PE.
+    kTransfer,  ///< A DMA transfer (edge fetch / memory read / write).
+  };
+  Kind kind = Kind::kCompute;
+  std::string name;       ///< Task name or transfer label.
+  PeId pe = 0;            ///< Executing PE (kCompute) or receiver (kTransfer).
+  double start = 0.0;     ///< Simulated seconds.
+  double end = 0.0;
+  std::int64_t instance = -1;  ///< Stream instance, when known.
+};
+
+/// Serialize events to the Trace Event Format (JSON array).  `platform`
+/// supplies the thread names ("PPE0", "SPE3 transfers", ...).
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events,
+                        const CellPlatform& platform);
+
+/// Convenience: the JSON as a string.
+std::string chrome_trace_json(const std::vector<TraceEvent>& events,
+                              const CellPlatform& platform);
+
+}  // namespace cellstream::sim

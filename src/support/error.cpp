@@ -1,0 +1,14 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace cellstream::detail {
+
+void throw_error(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::ostringstream os;
+  os << message << " [" << expr << " failed at " << file << ":" << line << "]";
+  throw Error(os.str());
+}
+
+}  // namespace cellstream::detail

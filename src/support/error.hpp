@@ -1,0 +1,39 @@
+#pragma once
+// Error handling primitives for cellstream.
+//
+// The library reports contract violations and invalid inputs by throwing
+// cellstream::Error (derived from std::runtime_error).  CS_ENSURE is used at
+// public API boundaries; CS_ASSERT guards internal invariants and compiles to
+// the same check (the library is not performance-critical enough to strip
+// internal checks in release builds, and silent corruption of a schedule is
+// far worse than a branch).
+
+#include <stdexcept>
+#include <string>
+
+namespace cellstream {
+
+/// Exception type thrown on any contract violation or invalid input.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* file, int line, const char* expr,
+                              const std::string& message);
+}  // namespace detail
+
+}  // namespace cellstream
+
+/// Validate a condition; throw cellstream::Error with context on failure.
+#define CS_ENSURE(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::cellstream::detail::throw_error(__FILE__, __LINE__, #cond, msg);  \
+    }                                                                     \
+  } while (0)
+
+/// Internal invariant check.  Same behaviour as CS_ENSURE; distinct macro so
+/// call sites document intent (caller bug vs. library bug).
+#define CS_ASSERT(cond, msg) CS_ENSURE(cond, msg)

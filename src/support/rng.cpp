@@ -1,0 +1,24 @@
+#include "support/rng.hpp"
+
+#include <numeric>
+
+namespace cellstream {
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  CS_ENSURE(!weights.empty(), "weighted_index: no weights");
+  double total = 0.0;
+  for (double w : weights) {
+    CS_ENSURE(w >= 0.0, "weighted_index: negative weight");
+    total += w;
+  }
+  CS_ENSURE(total > 0.0, "weighted_index: all weights zero");
+  const double draw = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (draw < acc) return i;
+  }
+  return weights.size() - 1;  // numerical edge: draw == total
+}
+
+}  // namespace cellstream

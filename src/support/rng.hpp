@@ -1,0 +1,106 @@
+#pragma once
+// Deterministic random number generation.
+//
+// All randomized components of cellstream (graph generation, cost sampling,
+// tie-breaking) take an explicit Rng so results are reproducible from a
+// seed.  The generator is xoshiro256** (Blackman & Vigna), which is fast,
+// has a 256-bit state and passes BigCrush; we avoid std::mt19937 because its
+// stream is not guaranteed identical across standard library versions for
+// the distributions layered on top.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace cellstream {
+
+/// xoshiro256** pseudo-random generator with explicit seeding and
+/// distribution helpers that are bit-reproducible across platforms.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-initialize the state from a 64-bit seed via splitmix64, which
+  /// guarantees a non-zero, well-mixed state for any seed value.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    CS_ENSURE(lo <= hi, "uniform: empty range");
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive), unbiased via rejection.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    CS_ENSURE(lo <= hi, "uniform_int: empty range");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t draw;
+    do {
+      draw = (*this)();
+    } while (draw >= limit);
+    return lo + static_cast<std::int64_t>(draw % span);
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for parallel components).
+  Rng split() { return Rng((*this)()); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace cellstream

@@ -1,0 +1,29 @@
+#pragma once
+// Small string/formatting helpers shared by serializers and report writers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cellstream {
+
+/// Split `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Format a double with `digits` significant digits, trimming trailing
+/// zeros ("12.5", "0.775", "3").  Used for stable, human-readable tables.
+std::string format_number(double value, int digits = 6);
+
+/// Format a byte count with a binary-unit suffix ("256 kB", "1.5 MB").
+std::string format_bytes(double bytes);
+
+/// Join items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+}  // namespace cellstream

@@ -1,0 +1,103 @@
+#include "core/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cellstream {
+namespace {
+
+TaskGraph chain(int k) {
+  TaskGraph g("chain");
+  for (int i = 0; i < k; ++i) {
+    Task t;
+    t.wppe = 1.0;
+    t.wspe = 1.0;
+    g.add_task(t);
+  }
+  for (int i = 0; i + 1 < k; ++i) g.add_edge(i, i + 1, 8.0);
+  return g;
+}
+
+TEST(Mapping, DefaultAssignsInitialPe) {
+  const Mapping m(3, 2);
+  EXPECT_EQ(m.task_count(), 3u);
+  for (TaskId t = 0; t < 3; ++t) EXPECT_EQ(m.pe_of(t), 2u);
+}
+
+TEST(Mapping, AssignAndQuery) {
+  Mapping m(3);
+  m.assign(1, 5);
+  EXPECT_EQ(m.pe_of(0), 0u);
+  EXPECT_EQ(m.pe_of(1), 5u);
+  EXPECT_THROW(m.pe_of(3), Error);
+  EXPECT_THROW(m.assign(3, 0), Error);
+}
+
+TEST(Mapping, TasksOnListsInIdOrder) {
+  Mapping m(4);
+  m.assign(0, 1);
+  m.assign(2, 1);
+  m.assign(3, 2);
+  EXPECT_EQ(m.tasks_on(1), (std::vector<TaskId>{0, 2}));
+  EXPECT_EQ(m.tasks_on(2), (std::vector<TaskId>{3}));
+  EXPECT_EQ(m.tasks_on(7), (std::vector<TaskId>{}));
+}
+
+TEST(Mapping, IsRemoteDetectsCrossPeEdges) {
+  const TaskGraph g = chain(3);
+  Mapping m(3);
+  m.assign(0, 0);
+  m.assign(1, 0);
+  m.assign(2, 4);
+  EXPECT_FALSE(m.is_remote(g, 0));  // T0->T1 co-located
+  EXPECT_TRUE(m.is_remote(g, 1));   // T1->T2 crosses
+}
+
+TEST(Mapping, ValidateAgainstPlatform) {
+  const CellPlatform p = platforms::qs22_single_cell();  // 9 PEs
+  Mapping ok(2);
+  ok.assign(0, 8);
+  EXPECT_NO_THROW(ok.validate(p));
+  Mapping bad(2);
+  bad.assign(1, 9);
+  EXPECT_THROW(bad.validate(p), Error);
+}
+
+TEST(Mapping, ToStringIsReadable) {
+  const CellPlatform p = platforms::qs22_single_cell();
+  Mapping m(2);
+  m.assign(1, 3);
+  EXPECT_EQ(m.to_string(p), "T0->PPE0 T1->SPE2");
+}
+
+TEST(Mapping, EqualityComparesAssignments) {
+  Mapping a(2), b(2);
+  EXPECT_EQ(a, b);
+  b.assign(0, 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(Mapping, TextRoundTrip) {
+  Mapping m(4);
+  m.assign(0, 3);
+  m.assign(1, 0);
+  m.assign(2, 8);
+  m.assign(3, 1);
+  const Mapping back = Mapping::from_text(m.to_text());
+  EXPECT_EQ(back, m);
+}
+
+TEST(Mapping, FromTextRejectsGarbage) {
+  EXPECT_THROW(Mapping::from_text("not a mapping"), Error);
+  EXPECT_THROW(Mapping::from_text("mapping 3\n1 2"), Error);  // truncated
+  EXPECT_NO_THROW(Mapping::from_text("mapping 0\n"));
+}
+
+TEST(Mapping, PpeOnlyMapping) {
+  const TaskGraph g = chain(5);
+  const Mapping m = ppe_only_mapping(g);
+  EXPECT_EQ(m.task_count(), 5u);
+  for (TaskId t = 0; t < 5; ++t) EXPECT_EQ(m.pe_of(t), 0u);
+}
+
+}  // namespace
+}  // namespace cellstream

@@ -1,0 +1,123 @@
+// Property tests on the steady-state analysis over randomized graphs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/steady_state.hpp"
+#include "gen/daggen.hpp"
+#include "mapping/heuristics.hpp"
+
+namespace cellstream {
+namespace {
+
+class SteadyStateProperties : public ::testing::TestWithParam<int> {
+ protected:
+  TaskGraph make_graph() const {
+    gen::DagGenParams params;
+    params.task_count = 24;
+    params.seed = static_cast<std::uint64_t>(GetParam()) * 97 + 11;
+    params.fat = 0.2 + 0.1 * (GetParam() % 5);
+    TaskGraph g = gen::daggen_random(params);
+    gen::set_ccr(g, 0.775 + 0.5 * (GetParam() % 4));
+    return g;
+  }
+};
+
+TEST_P(SteadyStateProperties, FirstPeriodsStrictlyIncreaseAlongEdges) {
+  const TaskGraph g = make_graph();
+  const auto fp = compute_first_periods(g);
+  for (const Edge& e : g.edges()) {
+    // The gap is at least peek(consumer) + 2 by the recurrence.
+    EXPECT_GE(fp[e.to] - fp[e.from], g.task(e.to).peek + 2);
+  }
+}
+
+TEST_P(SteadyStateProperties, BufferDepthsMatchFirstPeriodGaps) {
+  const TaskGraph g = make_graph();
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  const auto fp = ss.first_periods();
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(ss.buffer_depth(e), fp[g.edge(e).to] - fp[g.edge(e).from]);
+    EXPECT_DOUBLE_EQ(ss.buffer_bytes(e),
+                     g.edge(e).data_bytes *
+                         static_cast<double>(ss.buffer_depth(e)));
+  }
+}
+
+TEST_P(SteadyStateProperties, PeriodDominatesEveryResourceLowerBound) {
+  const TaskGraph g = make_graph();
+  const CellPlatform p = platforms::qs22_single_cell();
+  const SteadyStateAnalysis ss(g, p);
+  const Mapping m = mapping::greedy_cpu(ss);
+  const ResourceUsage u = ss.usage(m);
+  for (PeId pe = 0; pe < p.pe_count(); ++pe) {
+    EXPECT_GE(u.period + 1e-15, u.compute_seconds[pe]);
+    EXPECT_GE(u.period + 1e-15, u.incoming_bytes[pe] / p.interface_bandwidth);
+    EXPECT_GE(u.period + 1e-15, u.outgoing_bytes[pe] / p.interface_bandwidth);
+  }
+  // And the period is achieved by some resource.
+  double max_occ = 0.0;
+  for (PeId pe = 0; pe < p.pe_count(); ++pe) {
+    max_occ = std::max({max_occ, u.compute_seconds[pe],
+                        u.incoming_bytes[pe] / p.interface_bandwidth,
+                        u.outgoing_bytes[pe] / p.interface_bandwidth});
+  }
+  EXPECT_DOUBLE_EQ(u.period, max_occ);
+}
+
+TEST_P(SteadyStateProperties, PpeOnlyIsAlwaysFeasibleAndComputeBound) {
+  const TaskGraph g = make_graph();
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  const Mapping m = ppe_only_mapping(g);
+  EXPECT_TRUE(ss.feasible(m));
+  // Period = total PPE work unless memory I/O dominates one interface.
+  const double bw = ss.platform().interface_bandwidth;
+  double reads = 0.0, writes = 0.0;
+  for (const Task& t : g.tasks()) {
+    reads += t.read_bytes;
+    writes += t.write_bytes;
+  }
+  const double expected =
+      std::max({g.total_wppe(), reads / bw, writes / bw});
+  EXPECT_NEAR(ss.period(m), expected, 1e-12 * expected);
+}
+
+TEST_P(SteadyStateProperties, EdgeConservationInUsage) {
+  // Total remote bytes out == total remote bytes in (minus memory I/O).
+  const TaskGraph g = make_graph();
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  const Mapping m = mapping::greedy_mem(ss);
+  const ResourceUsage u = ss.usage(m);
+  double total_in = 0.0, total_out = 0.0, reads = 0.0, writes = 0.0;
+  for (const Task& t : g.tasks()) {
+    reads += t.read_bytes;
+    writes += t.write_bytes;
+  }
+  for (PeId pe = 0; pe < ss.platform().pe_count(); ++pe) {
+    total_in += u.incoming_bytes[pe];
+    total_out += u.outgoing_bytes[pe];
+  }
+  EXPECT_NEAR(total_in - reads, total_out - writes, 1e-9);
+}
+
+TEST_P(SteadyStateProperties, MappingsCarryOverToLargerPlatformsUnchanged) {
+  // A mapping computed for s SPEs is feasible on any platform with more
+  // SPEs and keeps exactly the same period (the extra idle SPEs change
+  // nothing) — the invariant behind the paper's Fig. 7 sweep.
+  const TaskGraph g = make_graph();
+  for (std::size_t spes = 0; spes <= 6; spes += 3) {
+    const SteadyStateAnalysis small(g, platforms::qs22_with_spes(spes));
+    const Mapping m = mapping::greedy_cpu(small);
+    const double small_period = small.period(m);
+    const bool small_feasible = small.feasible(m);
+    const SteadyStateAnalysis big(g, platforms::qs22_with_spes(8));
+    EXPECT_NEAR(big.period(m), small_period, 1e-15);
+    EXPECT_EQ(big.feasible(m), small_feasible);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SteadyStateProperties, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace cellstream

@@ -1,0 +1,240 @@
+#include "core/steady_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cellstream {
+namespace {
+
+Task make_task(double wppe, double wspe, int peek = 0) {
+  Task t;
+  t.wppe = wppe;
+  t.wspe = wspe;
+  t.peek = peek;
+  return t;
+}
+
+// The paper's Fig. 3 example: T1 -> T2, T1 -> T3 with peek_3 = 1.
+TaskGraph fig3_graph() {
+  TaskGraph g("fig3");
+  g.add_task(make_task(1.0, 1.0, 0));  // T1
+  g.add_task(make_task(1.0, 1.0, 0));  // T2
+  g.add_task(make_task(1.0, 1.0, 1));  // T3
+  g.add_edge(0, 1, 1024.0);            // D1,2
+  g.add_edge(0, 2, 2048.0);            // D1,3
+  return g;
+}
+
+TEST(FirstPeriods, SourceStartsAtZero) {
+  const auto fp = compute_first_periods(fig3_graph());
+  EXPECT_EQ(fp[0], 0);
+}
+
+TEST(FirstPeriods, RecurrenceMatchesPaperFormula) {
+  // firstPeriod(T_k) = max over preds + peek_k + 2.
+  const auto fp = compute_first_periods(fig3_graph());
+  EXPECT_EQ(fp[1], 2);  // 0 + 0 + 2, as in the paper
+  EXPECT_EQ(fp[2], 3);  // 0 + 1 + 2
+}
+
+TEST(FirstPeriods, TakesMaxOverPredecessors) {
+  TaskGraph g;
+  g.add_task(make_task(1, 1));      // T0
+  g.add_task(make_task(1, 1, 3));   // T1, peek 3
+  g.add_task(make_task(1, 1));      // T2 <- T0, T1
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  const auto fp = compute_first_periods(g);
+  EXPECT_EQ(fp[1], 5);          // 0 + 3 + 2
+  EXPECT_EQ(fp[2], 5 + 0 + 2);  // max(0, 5) + 0 + 2
+}
+
+TEST(FirstPeriods, ChainAccumulates) {
+  TaskGraph g;
+  for (int i = 0; i < 4; ++i) g.add_task(make_task(1, 1));
+  for (int i = 0; i + 1 < 4; ++i) g.add_edge(i, i + 1, 1.0);
+  const auto fp = compute_first_periods(g);
+  EXPECT_EQ(fp[3], 6);  // 2 per hop with zero peek
+}
+
+TEST(Buffers, SizeIsDataTimesPeriodGap) {
+  const TaskGraph g = fig3_graph();
+  const CellPlatform p = platforms::qs22_single_cell();
+  const SteadyStateAnalysis ss(g, p);
+  // D1,2: gap 2 periods -> 2 * 1024 bytes.
+  EXPECT_EQ(ss.buffer_depth(0), 2);
+  EXPECT_DOUBLE_EQ(ss.buffer_bytes(0), 2048.0);
+  // D1,3: gap 3 periods -> 3 * 2048 bytes.
+  EXPECT_EQ(ss.buffer_depth(1), 3);
+  EXPECT_DOUBLE_EQ(ss.buffer_bytes(1), 6144.0);
+}
+
+TEST(Buffers, TaskBufferCountsBothDirections) {
+  const TaskGraph g = fig3_graph();
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  // T1 owns the out-buffers of both edges; consumers own the in-buffers
+  // too (duplicated even for co-located neighbours).
+  EXPECT_DOUBLE_EQ(ss.task_buffer_bytes(0), 2048.0 + 6144.0);
+  EXPECT_DOUBLE_EQ(ss.task_buffer_bytes(1), 2048.0);
+  EXPECT_DOUBLE_EQ(ss.task_buffer_bytes(2), 6144.0);
+}
+
+TEST(Usage, PpeOnlyMappingComputeBound) {
+  const TaskGraph g = fig3_graph();
+  const CellPlatform p = platforms::qs22_single_cell();
+  const SteadyStateAnalysis ss(g, p);
+  const Mapping m = ppe_only_mapping(g);
+  const ResourceUsage u = ss.usage(m);
+  EXPECT_DOUBLE_EQ(u.compute_seconds[0], 3.0);
+  // Co-located edges are not transfers.
+  EXPECT_DOUBLE_EQ(u.incoming_bytes[0], 0.0);
+  EXPECT_DOUBLE_EQ(u.outgoing_bytes[0], 0.0);
+  EXPECT_DOUBLE_EQ(u.period, 3.0);
+  EXPECT_EQ(u.bottleneck, "PPE0 compute");
+  EXPECT_DOUBLE_EQ(ss.throughput(m), 1.0 / 3.0);
+}
+
+TEST(Usage, RemoteEdgeChargesBothInterfaces) {
+  const TaskGraph g = fig3_graph();
+  const CellPlatform p = platforms::qs22_single_cell();
+  const SteadyStateAnalysis ss(g, p);
+  Mapping m(3, 0);
+  m.assign(2, 1);  // T3 on SPE0
+  const ResourceUsage u = ss.usage(m);
+  EXPECT_DOUBLE_EQ(u.outgoing_bytes[0], 2048.0);
+  EXPECT_DOUBLE_EQ(u.incoming_bytes[1], 2048.0);
+  EXPECT_EQ(u.incoming_transfers[1], 1u);
+  EXPECT_EQ(u.incoming_transfers[0], 0u);
+}
+
+TEST(Usage, MemoryTrafficUsesHostInterface) {
+  TaskGraph g = fig3_graph();
+  g.task(0).read_bytes = 4096.0;
+  g.task(2).write_bytes = 512.0;
+  const CellPlatform p = platforms::qs22_single_cell();
+  const SteadyStateAnalysis ss(g, p);
+  Mapping m(3, 0);
+  m.assign(2, 3);
+  const ResourceUsage u = ss.usage(m);
+  EXPECT_DOUBLE_EQ(u.incoming_bytes[0], 4096.0);
+  EXPECT_DOUBLE_EQ(u.outgoing_bytes[3], 512.0);
+}
+
+TEST(Usage, SpeComputeUsesWspe) {
+  TaskGraph g;
+  g.add_task(make_task(/*wppe=*/4.0, /*wspe=*/0.25));
+  const CellPlatform p = platforms::qs22_single_cell();
+  const SteadyStateAnalysis ss(g, p);
+  Mapping on_spe(1, 1);
+  Mapping on_ppe(1, 0);
+  EXPECT_DOUBLE_EQ(ss.period(on_spe), 0.25);
+  EXPECT_DOUBLE_EQ(ss.period(on_ppe), 4.0);
+}
+
+TEST(Usage, BandwidthBecomesBottleneckForHugeData) {
+  TaskGraph g;
+  g.add_task(make_task(1e-6, 1e-6));
+  g.add_task(make_task(1e-6, 1e-6));
+  g.add_edge(0, 1, 25.0e9);  // one full second of interface time
+  const CellPlatform p = platforms::qs22_single_cell();
+  const SteadyStateAnalysis ss(g, p);
+  Mapping m(2, 0);
+  m.assign(1, 1);
+  const ResourceUsage u = ss.usage(m);
+  EXPECT_NEAR(u.period, 1.0, 1e-9);
+  EXPECT_TRUE(u.bottleneck == "PPE0 outgoing" ||
+              u.bottleneck == "SPE0 incoming");
+}
+
+TEST(Feasibility, LocalStoreOverflowIsReported) {
+  TaskGraph g;
+  g.add_task(make_task(1, 1));
+  g.add_task(make_task(1, 1));
+  // Buffer = 2 periods * 200 kB = 400 kB > 192 kB budget.
+  g.add_edge(0, 1, 200.0 * 1024.0);
+  const CellPlatform p = platforms::qs22_single_cell();
+  const SteadyStateAnalysis ss(g, p);
+  Mapping m(2, 0);
+  m.assign(1, 1);  // consumer on SPE0
+  const auto violations = ss.violations(m);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("local-store"), std::string::npos);
+  EXPECT_FALSE(ss.feasible(m));
+}
+
+TEST(Feasibility, PpeHasNoMemoryConstraint) {
+  TaskGraph g;
+  g.add_task(make_task(1, 1));
+  g.add_task(make_task(1, 1));
+  g.add_edge(0, 1, 10.0e6);  // way over any local store
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  EXPECT_TRUE(ss.feasible(ppe_only_mapping(g)));
+}
+
+TEST(Feasibility, DmaSlotLimitIncoming) {
+  // 17 producers on distinct PEs all feeding one SPE would exceed its 16
+  // DMA slots; with 8 SPEs we emulate by putting 17 producers on the PPE.
+  TaskGraph g;
+  const int producers = 17;
+  for (int i = 0; i < producers; ++i) g.add_task(make_task(1, 1));
+  const TaskId sink = g.add_task(make_task(1, 1));
+  for (int i = 0; i < producers; ++i) g.add_edge(i, sink, 16.0);
+  const CellPlatform p = platforms::qs22_single_cell();
+  const SteadyStateAnalysis ss(g, p);
+  Mapping m(g.task_count(), 0);
+  m.assign(sink, 1);
+  const auto violations = ss.violations(m);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("DMA"), std::string::npos);
+}
+
+TEST(Feasibility, DmaSlotLimitToPpe) {
+  // One SPE sending 9 distinct data to the PPE exceeds the 8-deep proxy
+  // stack.
+  TaskGraph g;
+  const TaskId src_count = 9;
+  std::vector<TaskId> producers;
+  for (TaskId i = 0; i < src_count; ++i) {
+    producers.push_back(g.add_task(make_task(1, 1)));
+  }
+  std::vector<TaskId> consumers;
+  for (TaskId i = 0; i < src_count; ++i) {
+    const TaskId c = g.add_task(make_task(1, 1));
+    consumers.push_back(c);
+    g.add_edge(producers[i], c, 16.0);
+  }
+  const CellPlatform p = platforms::qs22_single_cell();
+  const SteadyStateAnalysis ss(g, p);
+  Mapping m(g.task_count(), 0);
+  for (TaskId t : producers) m.assign(t, 1);  // all producers on SPE0
+  const auto violations = ss.violations(m);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("proxy"), std::string::npos);
+}
+
+TEST(Feasibility, WithinLimitsIsFeasible) {
+  const TaskGraph g = fig3_graph();
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  Mapping m(3, 0);
+  m.assign(1, 1);
+  m.assign(2, 2);
+  EXPECT_TRUE(ss.feasible(m));
+}
+
+TEST(Analysis, RejectsMismatchedMapping) {
+  const TaskGraph g = fig3_graph();
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  EXPECT_THROW(ss.usage(Mapping(2, 0)), Error);
+}
+
+TEST(Analysis, ThroughputIsInverseOfPeriod) {
+  const TaskGraph g = fig3_graph();
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  const Mapping m = ppe_only_mapping(g);
+  EXPECT_DOUBLE_EQ(ss.throughput(m) * ss.period(m), 1.0);
+}
+
+}  // namespace
+}  // namespace cellstream

@@ -1,0 +1,123 @@
+#include "des/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cellstream::des {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, SimultaneousEventsFireInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(1.0, [&] { order.push_back(2); });
+  e.schedule_at(1.0, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine e;
+  double fired_at = -1.0;
+  e.schedule_at(5.0, [&] {
+    e.schedule_in(2.5, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Engine, RejectsPastEventsAndNullActions) {
+  Engine e;
+  e.schedule_at(10.0, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(5.0, [] {}), Error);
+  EXPECT_THROW(e.schedule_in(-1.0, [] {}), Error);
+  EXPECT_THROW(e.schedule_at(20.0, nullptr), Error);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule_at(1.0, [&] { fired = true; });
+  e.cancel(id);
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.executed(), 0u);
+}
+
+TEST(Engine, CancelUnknownIdIsNoop) {
+  Engine e;
+  e.cancel(424242);
+  bool fired = false;
+  e.schedule_at(1.0, [&] { fired = true; });
+  e.cancel(99999);
+  e.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine e;
+  std::vector<double> fired;
+  for (int i = 1; i <= 5; ++i) {
+    e.schedule_at(static_cast<double>(i), [&, i] {
+      fired.push_back(static_cast<double>(i));
+    });
+  }
+  e.run_until(3.0);
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  EXPECT_EQ(e.pending(), 2u);
+  e.run();
+  EXPECT_EQ(fired.size(), 5u);
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine e;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) e.schedule_in(1.0, chain);
+  };
+  e.schedule_at(0.0, chain);
+  e.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(e.now(), 99.0);
+}
+
+TEST(Engine, EventCanCancelAnotherPendingEvent) {
+  Engine e;
+  bool victim_fired = false;
+  const EventId victim = e.schedule_at(2.0, [&] { victim_fired = true; });
+  e.schedule_at(1.0, [&] { e.cancel(victim); });
+  e.run();
+  EXPECT_FALSE(victim_fired);
+}
+
+TEST(Engine, PendingCountsOnlyLiveEvents) {
+  Engine e;
+  const EventId a = e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace cellstream::des

@@ -1,0 +1,101 @@
+#include "gen/apps.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/steady_state.hpp"
+
+namespace cellstream::gen {
+namespace {
+
+TEST(AudioEncoder, IsAValidDag) {
+  const TaskGraph g = audio_encoder_graph();
+  EXPECT_NO_THROW(g.validate());
+  // reader + window + psycho + 8 filters + bitalloc + 8 quant + pack.
+  EXPECT_EQ(g.task_count(), 5u + 2 * 8u);
+  EXPECT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+}
+
+TEST(AudioEncoder, SubbandGroupsScaleTheGraph) {
+  EXPECT_EQ(audio_encoder_graph(4).task_count(), 5u + 2 * 4u);
+  EXPECT_EQ(audio_encoder_graph(16).task_count(), 5u + 2 * 16u);
+  EXPECT_THROW(audio_encoder_graph(0), Error);
+  EXPECT_THROW(audio_encoder_graph(33), Error);
+}
+
+TEST(AudioEncoder, PsychoacousticModelPeeks) {
+  const TaskGraph g = audio_encoder_graph();
+  bool found_peek = false;
+  for (const Task& t : g.tasks()) {
+    if (t.name == "psychoacoustic") {
+      EXPECT_EQ(t.peek, 1);
+      found_peek = true;
+    }
+  }
+  EXPECT_TRUE(found_peek);
+}
+
+TEST(AudioEncoder, HasUnrelatedCosts) {
+  // Some tasks faster on SPE, some faster on PPE (the unrelated model).
+  const TaskGraph g = audio_encoder_graph();
+  bool spe_faster = false, ppe_faster = false;
+  for (const Task& t : g.tasks()) {
+    if (t.wspe < t.wppe) spe_faster = true;
+    if (t.wppe < t.wspe) ppe_faster = true;
+  }
+  EXPECT_TRUE(spe_faster);
+  EXPECT_TRUE(ppe_faster);
+}
+
+TEST(AudioEncoder, StreamsThroughMainMemory) {
+  const TaskGraph g = audio_encoder_graph();
+  double reads = 0.0, writes = 0.0;
+  for (const Task& t : g.tasks()) {
+    reads += t.read_bytes;
+    writes += t.write_bytes;
+  }
+  EXPECT_GT(reads, 0.0);
+  EXPECT_GT(writes, 0.0);
+}
+
+TEST(AudioEncoder, FitsTheSteadyStateMachinery) {
+  const TaskGraph g = audio_encoder_graph();
+  const CellPlatform p = platforms::qs22_single_cell();
+  const SteadyStateAnalysis ss(g, p);
+  EXPECT_TRUE(ss.feasible(ppe_only_mapping(g)));
+  EXPECT_GT(ss.throughput(ppe_only_mapping(g)), 0.0);
+}
+
+TEST(VideoPipeline, IsAValidDag) {
+  const TaskGraph g = video_pipeline_graph();
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_EQ(g.task_count(), 5u + 4u);  // capture..mux + 4 tiles
+  EXPECT_THROW(video_pipeline_graph(0), Error);
+  EXPECT_THROW(video_pipeline_graph(17), Error);
+}
+
+TEST(VideoPipeline, MotionEstimationPeeksTwoFrames) {
+  const TaskGraph g = video_pipeline_graph();
+  bool found = false;
+  for (const Task& t : g.tasks()) {
+    if (t.name == "motion_estimation") {
+      EXPECT_EQ(t.peek, 2);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(VideoPipeline, TileCountControlsWidth) {
+  const TaskGraph g = video_pipeline_graph(8);
+  EXPECT_EQ(g.task_count(), 5u + 8u);
+  // Each tile encoder has two inputs (denoise + motion vectors).
+  std::size_t two_input_tasks = 0;
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    if (g.in_edges(t).size() == 2) ++two_input_tasks;
+  }
+  EXPECT_GE(two_input_tasks, 8u);
+}
+
+}  // namespace
+}  // namespace cellstream::gen

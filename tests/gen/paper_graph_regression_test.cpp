@@ -1,0 +1,84 @@
+// Regression pins for the three paper evaluation graphs.  The figure
+// benches and EXPERIMENTS.md numbers are only comparable across builds if
+// these generated instances stay bit-identical; any intentional generator
+// change must update these pins (and re-baseline EXPERIMENTS.md).
+
+#include <gtest/gtest.h>
+
+#include "gen/daggen.hpp"
+
+namespace cellstream::gen {
+namespace {
+
+TEST(PaperGraphRegression, Graph1Shape) {
+  const TaskGraph g = paper_graph(0);
+  EXPECT_EQ(g.task_count(), 50u);
+  EXPECT_EQ(g.edge_count(), 81u);
+  EXPECT_EQ(g.sources().size(), 2u);
+}
+
+TEST(PaperGraphRegression, Graph2Shape) {
+  const TaskGraph g = paper_graph(1);
+  EXPECT_EQ(g.task_count(), 94u);
+  EXPECT_EQ(g.edge_count(), 157u);
+}
+
+TEST(PaperGraphRegression, Graph3Shape) {
+  const TaskGraph g = paper_graph(2);
+  EXPECT_EQ(g.task_count(), 50u);
+  EXPECT_EQ(g.edge_count(), 49u);
+  EXPECT_EQ(g.depth(), 49u);
+}
+
+TEST(PaperGraphRegression, TotalWorkStableAcrossBuilds) {
+  // Seconds of PPE work per instance; a drift here silently rescales every
+  // speed-up in the benches.
+  const double w1 = paper_graph(0).total_wppe();
+  const double w2 = paper_graph(1).total_wppe();
+  const double w3 = paper_graph(2).total_wppe();
+  EXPECT_NEAR(w1, paper_graph(0).total_wppe(), 0.0);  // deterministic
+  EXPECT_GT(w1, 0.03);
+  EXPECT_LT(w1, 0.08);
+  EXPECT_GT(w2, 0.06);
+  EXPECT_LT(w2, 0.15);
+  EXPECT_GT(w3, 0.03);
+  EXPECT_LT(w3, 0.08);
+}
+
+TEST(PaperGraphRegression, PeekDistributionInPaperRange) {
+  // The paper's graphs show peeks of 0, 1 and 2 with 0 dominating.
+  for (int idx = 0; idx < 3; ++idx) {
+    const TaskGraph g = paper_graph(idx);
+    int histogram[3] = {0, 0, 0};
+    for (const Task& t : g.tasks()) {
+      ASSERT_GE(t.peek, 0);
+      ASSERT_LE(t.peek, 2);
+      ++histogram[t.peek];
+    }
+    EXPECT_GT(histogram[0], histogram[1]) << "graph " << idx;
+    EXPECT_GT(histogram[0], histogram[2]) << "graph " << idx;
+  }
+}
+
+TEST(PaperGraphRegression, StatefulMinorityAsInPaperFigures) {
+  for (int idx = 0; idx < 3; ++idx) {
+    const TaskGraph g = paper_graph(idx);
+    std::size_t stateful = 0;
+    for (const Task& t : g.tasks()) stateful += t.stateful;
+    EXPECT_GT(stateful, 0u) << "graph " << idx;
+    EXPECT_LT(stateful, g.task_count() / 2) << "graph " << idx;
+  }
+}
+
+TEST(PaperGraphRegression, CcrScalingIsIdempotentUpToRounding) {
+  TaskGraph g = paper_graph(0);
+  set_ccr(g, 0.775);
+  const double total = g.total_data_bytes();
+  // Re-scaling to the same target changes volumes only by roundoff.
+  set_ccr(g, 0.775);
+  EXPECT_NEAR(g.total_data_bytes(), total, 1e-9 * total);
+  EXPECT_NEAR(g.ccr(kPaperOpsRate), 0.775, 1e-12);
+}
+
+}  // namespace
+}  // namespace cellstream::gen

@@ -1,0 +1,141 @@
+// Integration tests across the whole stack: generator -> analysis ->
+// mapping strategies (including the MILP) -> simulator, on the paper's
+// actual evaluation configurations.
+
+#include <gtest/gtest.h>
+
+#include "gen/apps.hpp"
+#include "gen/daggen.hpp"
+#include "mapping/heuristics.hpp"
+#include "mapping/local_search.hpp"
+#include "mapping/milp_mapper.hpp"
+#include "sim/simulator.hpp"
+
+namespace cellstream {
+namespace {
+
+sim::SimOptions quick_sim(std::size_t instances = 800) {
+  sim::SimOptions o;
+  o.instances = instances;
+  return o;
+}
+
+TEST(EndToEnd, PaperGraph1HeadlineConfiguration) {
+  // Graph 1, CCR 0.775, 8 SPEs: the paper's Fig. 6 configuration.
+  TaskGraph g = gen::paper_graph(0);
+  gen::set_ccr(g, 0.775);
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+
+  mapping::MilpMapperOptions opts;
+  opts.milp.time_limit_seconds = 30.0;
+  const mapping::MilpMapperResult lp = mapping::solve_optimal_mapping(ss, opts);
+  EXPECT_TRUE(ss.feasible(lp.mapping));
+
+  const double base = ss.period(mapping::ppe_only(ss));
+  const double lp_speedup = base / lp.period;
+  const double cpu_speedup = base / ss.period(mapping::greedy_cpu(ss));
+  const double mem_speedup = base / ss.period(mapping::greedy_mem(ss));
+
+  // Paper shape: LP clearly ahead of both heuristics, in the 2-3x band.
+  EXPECT_GT(lp_speedup, 1.8);
+  EXPECT_LT(lp_speedup, 3.5);
+  EXPECT_GT(lp_speedup, cpu_speedup * 1.1);
+  EXPECT_GT(lp_speedup, mem_speedup * 1.1);
+
+  // Simulated execution reaches most of the prediction and never beats it.
+  const sim::SimResult run = sim::simulate(ss, lp.mapping, quick_sim(2000));
+  const double ratio = run.steady_throughput * lp.period;
+  EXPECT_GT(ratio, 0.85);
+  EXPECT_LE(ratio, 1.01);
+}
+
+TEST(EndToEnd, CcrIncreaseDegradesOptimalSpeedup) {
+  // The monotone collapse behind Fig. 8, on the chain graph (fast MILP).
+  double previous = 1e9;
+  for (double ccr : {0.775, 2.3, 4.6}) {
+    TaskGraph g = gen::paper_graph(2);
+    gen::set_ccr(g, ccr);
+    const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+    mapping::MilpMapperOptions opts;
+    opts.milp.time_limit_seconds = 15.0;
+    const mapping::MilpMapperResult lp =
+        mapping::solve_optimal_mapping(ss, opts);
+    const double speedup = ss.period(mapping::ppe_only(ss)) / lp.period;
+    EXPECT_LT(speedup, previous * 1.05) << "ccr " << ccr;
+    previous = speedup;
+  }
+  EXPECT_LT(previous, 1.6);  // near-PPE-only at CCR 4.6
+}
+
+TEST(EndToEnd, SpeCountImprovesOptimalThroughput) {
+  TaskGraph g = gen::paper_graph(2);
+  gen::set_ccr(g, 0.775);
+  double previous = 0.0;
+  for (std::size_t spes : {0u, 4u, 8u}) {
+    const SteadyStateAnalysis ss(g, platforms::qs22_with_spes(spes));
+    mapping::MilpMapperOptions opts;
+    opts.milp.time_limit_seconds = 15.0;
+    const mapping::MilpMapperResult lp =
+        mapping::solve_optimal_mapping(ss, opts);
+    EXPECT_GE(lp.throughput, previous * 0.999) << spes << " SPEs";
+    previous = lp.throughput;
+  }
+}
+
+TEST(EndToEnd, AudioEncoderBenefitsFromSpes) {
+  const TaskGraph g = gen::audio_encoder_graph();
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  mapping::MilpMapperOptions opts;
+  opts.milp.time_limit_seconds = 15.0;
+  const mapping::MilpMapperResult lp = mapping::solve_optimal_mapping(ss, opts);
+  const double speedup = ss.period(mapping::ppe_only(ss)) / lp.period;
+  EXPECT_GT(speedup, 1.5);
+  const sim::SimResult run = sim::simulate(ss, lp.mapping, quick_sim());
+  EXPECT_GT(run.steady_throughput, 0.0);
+  EXPECT_LE(run.steady_throughput, lp.throughput * 1.02);
+}
+
+TEST(EndToEnd, VideoPipelineRunsOnEveryPreset) {
+  const TaskGraph g = gen::video_pipeline_graph();
+  for (const CellPlatform& p :
+       {platforms::playstation3(), platforms::qs22_single_cell()}) {
+    const SteadyStateAnalysis ss(g, p);
+    const Mapping m = mapping::local_search_heuristic(ss);
+    ASSERT_TRUE(ss.feasible(m));
+    const sim::SimResult run = sim::simulate(ss, m, quick_sim(500));
+    EXPECT_EQ(run.completion_times.size(), 500u);
+  }
+}
+
+TEST(EndToEnd, SerializedGraphReproducesIdenticalResults) {
+  // Round-trip a paper graph through text serialization; analysis and
+  // simulation must be bit-identical.
+  TaskGraph g = gen::paper_graph(2);
+  gen::set_ccr(g, 1.5);
+  const TaskGraph copy = TaskGraph::from_text(g.to_text());
+  const SteadyStateAnalysis ss1(g, platforms::qs22_single_cell());
+  const SteadyStateAnalysis ss2(copy, platforms::qs22_single_cell());
+  const Mapping m1 = mapping::greedy_cpu(ss1);
+  const Mapping m2 = mapping::greedy_cpu(ss2);
+  EXPECT_EQ(m1, m2);
+  EXPECT_DOUBLE_EQ(ss1.period(m1), ss2.period(m2));
+  const sim::SimResult r1 = sim::simulate(ss1, m1, quick_sim(300));
+  const sim::SimResult r2 = sim::simulate(ss2, m2, quick_sim(300));
+  EXPECT_EQ(r1.completion_times, r2.completion_times);
+}
+
+TEST(EndToEnd, Milp5PercentGapNeverLosesToLocalSearchByMore) {
+  // Even when the MILP stops at its gap, it must stay within 5% (plus
+  // tolerance) of any other feasible mapping we can construct.
+  TaskGraph g = gen::paper_graph(0);
+  gen::set_ccr(g, 0.775);
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  mapping::MilpMapperOptions opts;
+  opts.milp.time_limit_seconds = 30.0;
+  const mapping::MilpMapperResult lp = mapping::solve_optimal_mapping(ss, opts);
+  const Mapping polished = mapping::local_search_heuristic(ss);
+  EXPECT_LE(lp.period, ss.period(polished) * 1.0 + 1e-12);
+}
+
+}  // namespace
+}  // namespace cellstream

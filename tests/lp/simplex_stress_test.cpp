@@ -1,0 +1,167 @@
+// Stress and configuration-edge tests for the simplex engine: frequent
+// refactorization, tiny eta budgets, Bland fallback, and consistency of
+// the mapping LP relaxation against known feasible points.
+
+#include <gtest/gtest.h>
+
+#include "gen/daggen.hpp"
+#include "lp/simplex.hpp"
+#include "mapping/heuristics.hpp"
+#include "mapping/milp_mapper.hpp"
+#include "support/rng.hpp"
+
+namespace cellstream::lp {
+namespace {
+
+Problem random_knapsack(std::uint64_t seed, int n) {
+  Rng rng(seed);
+  Problem p;
+  std::vector<Coefficient> row;
+  for (int i = 0; i < n; ++i) {
+    const VarId v = p.add_variable(0.0, 1.0, -rng.uniform(1.0, 10.0));
+    row.push_back({v, rng.uniform(1.0, 5.0)});
+  }
+  p.add_row(-kInfinity, rng.uniform(5.0, 15.0), row);
+  return p;
+}
+
+TEST(SimplexStress, FrequentRefactorizationGivesIdenticalOptima) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Problem p = random_knapsack(seed, 20);
+    SimplexOptions normal;
+    SimplexOptions paranoid;
+    paranoid.refactor_interval = 2;  // refactor after every other pivot
+    const SimplexResult a = solve_lp(p, normal);
+    const SimplexResult b = solve_lp(p, paranoid);
+    ASSERT_EQ(a.status, SolveStatus::kOptimal);
+    ASSERT_EQ(b.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(a.objective, b.objective, 1e-8) << "seed " << seed;
+  }
+}
+
+TEST(SimplexStress, ImmediateBlandModeStillSolves) {
+  SimplexOptions opts;
+  opts.stall_limit = 0;  // every degenerate pivot triggers Bland's rule
+  const Problem p = random_knapsack(3, 15);
+  const SimplexResult normal = solve_lp(p);
+  const SimplexResult bland = solve_lp(p, opts);
+  ASSERT_EQ(bland.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(bland.objective, normal.objective, 1e-8);
+}
+
+TEST(SimplexStress, TinyIterationLimitReportsLimit) {
+  // The mapping relaxation needs far more than 3 iterations.
+  gen::DagGenParams params;
+  params.task_count = 15;
+  TaskGraph g = gen::daggen_random(params);
+  gen::set_ccr(g, 1.0);
+  SteadyStateAnalysis analysis(std::move(g), platforms::qs22_single_cell());
+  const Problem p = mapping::build_formulation(analysis).problem;
+  SimplexOptions opts;
+  opts.max_iterations = 3;
+  EXPECT_EQ(solve_lp(p, opts).status, SolveStatus::kIterationLimit);
+}
+
+TEST(SimplexStress, MappingRelaxationLowerBoundsEveryFeasibleMapping) {
+  // The LP relaxation's optimum must be <= the period of every concrete
+  // feasible mapping (whose encoding is an LP-feasible point).
+  gen::DagGenParams params;
+  params.task_count = 16;
+  params.seed = 4;
+  TaskGraph graph = gen::daggen_random(params);
+  gen::set_ccr(graph, 1.0);
+  SteadyStateAnalysis analysis(std::move(graph),
+                               platforms::qs22_single_cell());
+  const mapping::Formulation f = mapping::build_formulation(analysis);
+  const SimplexResult relaxation = solve_lp(f.problem);
+  ASSERT_EQ(relaxation.status, SolveStatus::kOptimal);
+  for (const char* name : {"ppe-only", "greedy-cpu", "greedy-mem"}) {
+    const Mapping m = mapping::run_heuristic(name, analysis);
+    if (!analysis.feasible(m)) continue;
+    EXPECT_LE(relaxation.objective, analysis.period(m) + 1e-9) << name;
+  }
+}
+
+TEST(SimplexStress, BetaVariablesIntegralOnceAlphaFixed) {
+  // Fix an integral alpha assignment through bounds; the LP must then
+  // produce the product beta (the justification for alpha-only branching).
+  TaskGraph g("trio");
+  Task t;
+  t.wppe = 1e-3;
+  t.wspe = 0.5e-3;
+  g.add_task(t);
+  g.add_task(t);
+  g.add_task(t);
+  g.add_edge(0, 1, 2048.0);
+  g.add_edge(1, 2, 2048.0);
+  SteadyStateAnalysis analysis(std::move(g), platforms::qs22_with_spes(2));
+  mapping::Formulation f = mapping::build_formulation(analysis);
+  Mapping m(3, 0);
+  m.assign(1, 1);
+  m.assign(2, 2);
+  const std::size_t n = 3;
+  for (TaskId k = 0; k < 3; ++k) {
+    for (PeId i = 0; i < n; ++i) {
+      const double v = m.pe_of(k) == i ? 1.0 : 0.0;
+      f.problem.set_variable_bounds(f.alpha[k][i], v, v);
+    }
+  }
+  const SimplexResult r = solve_lp(f.problem);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, analysis.period(m), 1e-9);
+  for (EdgeId e = 0; e < 2; ++e) {
+    const Edge& edge = analysis.graph().edge(e);
+    for (PeId i = 0; i < n; ++i) {
+      for (PeId j = 0; j < n; ++j) {
+        const double expected =
+            (m.pe_of(edge.from) == i && m.pe_of(edge.to) == j) ? 1.0 : 0.0;
+        // Routing variables that carry no cost may float when unused, but
+        // the delivering entry must be 1 and impossible entries 0.
+        const double value = r.x[f.beta[e][i * n + j]];
+        if (expected == 1.0) {
+          EXPECT_NEAR(value, 1.0, 1e-7);
+        } else if (m.pe_of(edge.from) != i) {
+          EXPECT_NEAR(value, 0.0, 1e-7);  // (1d) forbids foreign senders
+        }
+      }
+    }
+  }
+}
+
+TEST(SimplexStress, RepeatedWarmResolvesOnMappingLp) {
+  gen::DagGenParams params;
+  params.task_count = 12;
+  params.seed = 9;
+  TaskGraph graph = gen::daggen_random(params);
+  gen::set_ccr(graph, 0.775);
+  SteadyStateAnalysis analysis(std::move(graph),
+                               platforms::qs22_with_spes(4));
+  const mapping::Formulation f = mapping::build_formulation(analysis);
+  IncrementalSimplex solver(f.problem);
+  const SimplexResult root = solver.solve();
+  ASSERT_EQ(root.status, SolveStatus::kOptimal);
+  Rng rng(17);
+  for (int trial = 0; trial < 15; ++trial) {
+    // Fix a random alpha to 1 (with its group to 0), re-solve, undo.
+    const TaskId k = static_cast<TaskId>(rng.uniform_int(0, 11));
+    const PeId pe = static_cast<PeId>(rng.uniform_int(0, 4));
+    for (PeId i = 0; i < 5; ++i) {
+      const double v = i == pe ? 1.0 : 0.0;
+      solver.set_variable_bounds(f.alpha[k][i], v, v);
+    }
+    const SimplexResult fixed = solver.solve();
+    if (fixed.status == SolveStatus::kOptimal) {
+      EXPECT_GE(fixed.objective, root.objective - 1e-9);
+    }
+    for (PeId i = 0; i < 5; ++i) {
+      solver.set_variable_bounds(f.alpha[k][i], 0.0, 1.0);
+    }
+    const SimplexResult relaxed = solver.solve();
+    ASSERT_EQ(relaxed.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(relaxed.objective, root.objective,
+                1e-7 * (1.0 + std::abs(root.objective)));
+  }
+}
+
+}  // namespace
+}  // namespace cellstream::lp

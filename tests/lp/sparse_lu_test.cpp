@@ -1,0 +1,180 @@
+#include "lp/sparse_lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace cellstream::lp {
+namespace {
+
+// Multiply A (columns) by x.
+std::vector<double> matvec(const SparseColumns& cols,
+                           const std::vector<double>& x) {
+  std::vector<double> out(cols.size(), 0.0);
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    for (const MatrixEntry& e : cols[j]) out[e.row] += e.value * x[j];
+  }
+  return out;
+}
+
+std::vector<double> matvec_transpose(const SparseColumns& cols,
+                                     const std::vector<double>& y) {
+  std::vector<double> out(cols.size(), 0.0);
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    for (const MatrixEntry& e : cols[j]) out[j] += e.value * y[e.row];
+  }
+  return out;
+}
+
+TEST(SparseLu, IdentityRoundTrip) {
+  const std::size_t n = 5;
+  SparseColumns a(n);
+  for (std::size_t i = 0; i < n; ++i) a[i] = {{i, 1.0}};
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(a));
+  std::vector<double> b = {1, 2, 3, 4, 5};
+  lu.solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], i + 1.0, 1e-12);
+}
+
+TEST(SparseLu, NegatedIdentity) {
+  // The all-slack simplex basis is -I.
+  const std::size_t n = 4;
+  SparseColumns a(n);
+  for (std::size_t i = 0; i < n; ++i) a[i] = {{i, -1.0}};
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(a));
+  std::vector<double> b = {2, 4, 6, 8};
+  lu.solve(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(b[i], -2.0 * (i + 1.0), 1e-12);
+  }
+}
+
+TEST(SparseLu, KnownDenseSystem) {
+  // A = [[2,1],[1,3]], b = [5, 10] -> x = [1, 3].
+  SparseColumns a(2);
+  a[0] = {{0, 2.0}, {1, 1.0}};
+  a[1] = {{0, 1.0}, {1, 3.0}};
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(a));
+  std::vector<double> b = {5.0, 10.0};
+  lu.solve(b);
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(SparseLu, PermutationMatrix) {
+  // Column j has a single 1 in row (j+1) mod n.
+  const std::size_t n = 6;
+  SparseColumns a(n);
+  for (std::size_t j = 0; j < n; ++j) a[j] = {{(j + 1) % n, 1.0}};
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(a));
+  std::vector<double> x_true(n);
+  for (std::size_t i = 0; i < n; ++i) x_true[i] = static_cast<double>(i) - 2.5;
+  std::vector<double> b = matvec(a, x_true);
+  lu.solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-12);
+}
+
+TEST(SparseLu, DetectsSingularMatrix) {
+  SparseColumns a(3);
+  a[0] = {{0, 1.0}, {1, 2.0}};
+  a[1] = {{0, 2.0}, {1, 4.0}};  // 2 * column 0
+  a[2] = {{2, 1.0}};
+  SparseLu lu;
+  EXPECT_FALSE(lu.factor(a));
+  EXPECT_FALSE(lu.ok());
+}
+
+TEST(SparseLu, DetectsStructuralSingularity) {
+  SparseColumns a(3);
+  a[0] = {{0, 1.0}};
+  a[1] = {{0, 2.0}};  // row 1 and 2 never touched
+  a[2] = {{0, 3.0}};
+  SparseLu lu;
+  EXPECT_FALSE(lu.factor(a));
+}
+
+TEST(SparseLu, SolveBeforeFactorThrows) {
+  SparseLu lu;
+  std::vector<double> b = {1.0};
+  EXPECT_THROW(lu.solve(b), Error);
+  EXPECT_THROW(lu.solve_transpose(b), Error);
+}
+
+class SparseLuRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseLuRandom, RandomSparseRoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ULL + 17);
+  const std::size_t n = 120;
+  // Diagonal-dominant-ish sparse matrix: always nonsingular.
+  SparseColumns a(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    a[j].push_back({j, rng.uniform(2.0, 5.0) * (rng.bernoulli(0.5) ? 1 : -1)});
+    const int extras = static_cast<int>(rng.uniform_int(0, 4));
+    for (int t = 0; t < extras; ++t) {
+      const std::size_t r = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+      if (r != j) a[j].push_back({r, rng.uniform(-1.0, 1.0)});
+    }
+  }
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(a));
+
+  std::vector<double> x_true(n);
+  for (double& v : x_true) v = rng.uniform(-10.0, 10.0);
+
+  std::vector<double> b = matvec(a, x_true);
+  lu.solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-6);
+
+  std::vector<double> c = matvec_transpose(a, x_true);
+  lu.solve_transpose(c);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(c[i], x_true[i], 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseLuRandom, ::testing::Range(0, 12));
+
+TEST(SparseLu, TransposeSolveMatchesForwardOnAsymmetricMatrix) {
+  SparseColumns a(3);
+  a[0] = {{0, 1.0}, {2, 4.0}};
+  a[1] = {{1, 2.0}};
+  a[2] = {{0, 3.0}, {2, 1.0}};
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(a));
+  // A^T y = c with c = A^T [1,1,1]^T must return [1,1,1].
+  std::vector<double> c = matvec_transpose(a, {1.0, 1.0, 1.0});
+  lu.solve_transpose(c);
+  for (double v : c) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(SparseLu, FillIsBoundedOnBandMatrix) {
+  // Tridiagonal: fill should stay linear in n.
+  const std::size_t n = 200;
+  SparseColumns a(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    a[j].push_back({j, 4.0});
+    if (j > 0) a[j].push_back({j - 1, 1.0});
+    if (j + 1 < n) a[j].push_back({j + 1, 1.0});
+  }
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(a));
+  EXPECT_LT(lu.fill(), 10 * n);
+}
+
+TEST(SparseLu, DuplicateEntriesAreSummed) {
+  SparseColumns a(1);
+  a[0] = {{0, 1.5}, {0, 0.5}};  // 2.0 total
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(a));
+  std::vector<double> b = {4.0};
+  lu.solve(b);
+  EXPECT_NEAR(b[0], 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cellstream::lp

@@ -1,0 +1,86 @@
+// Executable check of the paper's Theorem 1 reduction (Section 3.2).
+
+#include "mapping/complexity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace cellstream::mapping {
+namespace {
+
+TEST(Reduction, BuildsAChainWithUnrelatedCostsAndZeroData) {
+  TwoMachineInstance inst;
+  inst.lengths = {{1.0, 2.0}, {3.0, 1.0}, {2.0, 2.0}};
+  inst.bound = 4.0;
+  const TaskGraph g = reduce_to_cell_mapping(inst);
+  EXPECT_EQ(g.task_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.depth(), 2u);
+  EXPECT_DOUBLE_EQ(g.task(0).wppe, 1.0);
+  EXPECT_DOUBLE_EQ(g.task(0).wspe, 2.0);
+  for (const Edge& e : g.edges()) EXPECT_DOUBLE_EQ(e.data_bytes, 0.0);
+}
+
+TEST(Reduction, PlatformIsOnePpeOneSpe) {
+  const CellPlatform p = reduction_platform();
+  EXPECT_EQ(p.ppe_count, 1u);
+  EXPECT_EQ(p.spe_count, 1u);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Reduction, YesInstanceMapsToYes) {
+  // Two tasks, each fast on a different machine; B = 1 is achievable by
+  // the matching assignment.
+  TwoMachineInstance inst;
+  inst.lengths = {{1.0, 10.0}, {10.0, 1.0}};
+  inst.bound = 1.0;
+  EXPECT_TRUE(two_machine_schedulable(inst));
+  EXPECT_TRUE(cell_mapping_reaches_bound(inst));
+}
+
+TEST(Reduction, NoInstanceMapsToNo) {
+  // Both tasks take 2 everywhere; some machine always carries load >= 2.
+  TwoMachineInstance inst;
+  inst.lengths = {{2.0, 2.0}, {2.0, 2.0}};
+  inst.bound = 1.5;
+  EXPECT_FALSE(two_machine_schedulable(inst));
+  EXPECT_FALSE(cell_mapping_reaches_bound(inst));
+}
+
+class ReductionEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReductionEquivalence, BothDecisionProblemsAgree) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 29);
+  TwoMachineInstance inst;
+  const int n = 1 + static_cast<int>(rng.uniform_int(1, 7));
+  double total = 0.0;
+  for (int k = 0; k < n; ++k) {
+    const double l0 = rng.uniform(0.5, 4.0);
+    const double l1 = rng.uniform(0.5, 4.0);
+    inst.lengths.push_back({l0, l1});
+    total += std::min(l0, l1);
+  }
+  // Sample bounds around the interesting region.
+  for (double frac : {0.4, 0.55, 0.7, 1.1}) {
+    inst.bound = frac * total;
+    EXPECT_EQ(two_machine_schedulable(inst),
+              cell_mapping_reaches_bound(inst))
+        << "n=" << n << " bound=" << inst.bound;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionEquivalence, ::testing::Range(0, 12));
+
+TEST(Reduction, ValidatesInputs) {
+  TwoMachineInstance empty;
+  empty.bound = 1.0;
+  EXPECT_THROW(reduce_to_cell_mapping(empty), Error);
+  TwoMachineInstance bad;
+  bad.lengths = {{1.0, 1.0}};
+  bad.bound = 0.0;
+  EXPECT_THROW(reduce_to_cell_mapping(bad), Error);
+}
+
+}  // namespace
+}  // namespace cellstream::mapping

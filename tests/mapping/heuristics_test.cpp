@@ -1,0 +1,155 @@
+#include "mapping/heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/daggen.hpp"
+
+namespace cellstream::mapping {
+namespace {
+
+Task make_task(double wppe, double wspe, int peek = 0) {
+  Task t;
+  t.wppe = wppe;
+  t.wspe = wspe;
+  t.peek = peek;
+  return t;
+}
+
+TaskGraph small_chain() {
+  TaskGraph g("chain4");
+  for (int i = 0; i < 4; ++i) g.add_task(make_task(1e-3, 0.5e-3));
+  for (int i = 0; i + 1 < 4; ++i) g.add_edge(i, i + 1, 1024.0);
+  return g;
+}
+
+TEST(GreedyMem, SpreadsAcrossSpes) {
+  const TaskGraph g = small_chain();
+  const CellPlatform p = platforms::qs22_single_cell();
+  const SteadyStateAnalysis ss(g, p);
+  const Mapping m = greedy_mem(ss);
+  // Every task fits on an (empty) SPE, and least-loaded-memory choice
+  // rotates over the empty SPEs, so no task lands on the PPE.
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    EXPECT_TRUE(p.is_spe(m.pe_of(t))) << "task " << t;
+  }
+  EXPECT_TRUE(ss.feasible(m));
+}
+
+TEST(GreedyMem, FallsBackToPpeWhenNothingFits) {
+  TaskGraph g("fat");
+  g.add_task(make_task(1e-3, 1e-3));
+  g.add_task(make_task(1e-3, 1e-3));
+  // Buffer = 2 * 200 kB = 400 kB > budget on every SPE.
+  g.add_edge(0, 1, 200.0 * 1024.0);
+  const CellPlatform p = platforms::qs22_single_cell();
+  const SteadyStateAnalysis ss(g, p);
+  const Mapping m = greedy_mem(ss);
+  EXPECT_EQ(m.pe_of(0), 0u);
+  EXPECT_EQ(m.pe_of(1), 0u);
+}
+
+TEST(GreedyMem, RespectsLocalStoreAcrossManyTasks) {
+  // 60 tasks x 2 x 3 kB buffers: SPEs fill up one by one; the heuristic
+  // must never overflow any local store.
+  gen::DagGenParams params;
+  params.task_count = 60;
+  params.seed = 5;
+  const TaskGraph g = gen::chain_graph(60, params);
+  const CellPlatform p = platforms::qs22_single_cell();
+  const SteadyStateAnalysis ss(g, p);
+  const Mapping m = greedy_mem(ss);
+  const ResourceUsage u = ss.usage(m);
+  for (PeId pe = p.ppe_count; pe < p.pe_count(); ++pe) {
+    EXPECT_LE(u.buffer_bytes[pe], static_cast<double>(p.buffer_budget()));
+  }
+}
+
+TEST(GreedyCpu, BalancesComputeLoad) {
+  // 9 equal tasks on 1 PPE + 8 SPEs: each PE gets exactly one.
+  TaskGraph g("nine");
+  for (int i = 0; i < 9; ++i) g.add_task(make_task(1e-3, 1e-3));
+  for (int i = 0; i + 1 < 9; ++i) g.add_edge(i, i + 1, 64.0);
+  const CellPlatform p = platforms::qs22_single_cell();
+  const SteadyStateAnalysis ss(g, p);
+  const Mapping m = greedy_cpu(ss);
+  std::vector<int> per_pe(p.pe_count(), 0);
+  for (TaskId t = 0; t < 9; ++t) ++per_pe[m.pe_of(t)];
+  for (int count : per_pe) EXPECT_EQ(count, 1);
+}
+
+TEST(GreedyCpu, UsesUnrelatedCosts) {
+  // A task much faster on the PPE: load accounting must use wppe there.
+  TaskGraph g("two");
+  g.add_task(make_task(/*wppe=*/1e-3, /*wspe=*/1e-3));
+  g.add_task(make_task(/*wppe=*/1e-3, /*wspe=*/1e-3));
+  g.add_edge(0, 1, 64.0);
+  const CellPlatform p = platforms::qs22_with_spes(1);
+  const SteadyStateAnalysis ss(g, p);
+  const Mapping m = greedy_cpu(ss);
+  // Two PEs, two equal tasks: one each.
+  EXPECT_NE(m.pe_of(0), m.pe_of(1));
+}
+
+TEST(PpeOnly, AllOnPpe) {
+  const TaskGraph g = small_chain();
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  const Mapping m = ppe_only(ss);
+  for (TaskId t = 0; t < g.task_count(); ++t) EXPECT_EQ(m.pe_of(t), 0u);
+}
+
+TEST(RoundRobin, CyclesThroughPes) {
+  const TaskGraph g = small_chain();
+  const CellPlatform p = platforms::qs22_with_spes(3);
+  const SteadyStateAnalysis ss(g, p);
+  const Mapping m = round_robin(ss);
+  EXPECT_EQ(m.pe_of(0), 0u);
+  EXPECT_EQ(m.pe_of(1), 1u);
+  EXPECT_EQ(m.pe_of(2), 2u);
+  EXPECT_EQ(m.pe_of(3), 3u);
+}
+
+TEST(GreedyPeriod, NeverWorseThanPpeOnlyOnSmallGraphs) {
+  gen::DagGenParams params;
+  params.task_count = 12;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    params.seed = seed;
+    const TaskGraph g = gen::daggen_random(params);
+    const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+    const double greedy = ss.period(greedy_period(ss));
+    const double baseline = ss.period(ppe_only(ss));
+    EXPECT_LE(greedy, baseline + 1e-12) << "seed " << seed;
+  }
+}
+
+TEST(RunHeuristic, DispatchesByName) {
+  const TaskGraph g = small_chain();
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  EXPECT_EQ(run_heuristic("ppe-only", ss), ppe_only(ss));
+  EXPECT_EQ(run_heuristic("greedy-mem", ss), greedy_mem(ss));
+  EXPECT_EQ(run_heuristic("greedy-cpu", ss), greedy_cpu(ss));
+  EXPECT_EQ(run_heuristic("round-robin", ss), round_robin(ss));
+  EXPECT_EQ(run_heuristic("greedy-period", ss), greedy_period(ss));
+  EXPECT_THROW(run_heuristic("nope", ss), Error);
+}
+
+TEST(Heuristics, AllProduceValidFeasibleMemoryUsage) {
+  gen::DagGenParams params;
+  params.task_count = 40;
+  params.seed = 17;
+  const TaskGraph g = gen::daggen_random(params);
+  const CellPlatform p = platforms::playstation3();
+  const SteadyStateAnalysis ss(g, p);
+  for (const char* name : {"greedy-mem", "greedy-cpu", "ppe-only",
+                           "round-robin", "greedy-period"}) {
+    const Mapping m = run_heuristic(name, ss);
+    EXPECT_NO_THROW(m.validate(p)) << name;
+    const ResourceUsage u = ss.usage(m);
+    for (PeId pe = p.ppe_count; pe < p.pe_count(); ++pe) {
+      EXPECT_LE(u.buffer_bytes[pe], static_cast<double>(p.buffer_budget()))
+          << name << " overflows " << p.pe_name(pe);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cellstream::mapping

@@ -1,0 +1,116 @@
+#include "mapping/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/daggen.hpp"
+#include "mapping/exhaustive.hpp"
+#include "mapping/heuristics.hpp"
+
+namespace cellstream::mapping {
+namespace {
+
+TEST(LocalSearch, NeverWorsensTheStartingPoint) {
+  gen::DagGenParams params;
+  params.task_count = 20;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    params.seed = seed;
+    TaskGraph g = gen::daggen_random(params);
+    gen::set_ccr(g, 1.0);
+    const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+    Mapping m = greedy_cpu(ss);
+    if (!ss.feasible(m)) m = ppe_only(ss);
+    const double before = ss.period(m);
+    const double after = improve_mapping(ss, m);
+    EXPECT_LE(after, before + 1e-15) << "seed " << seed;
+    EXPECT_TRUE(ss.feasible(m));
+    EXPECT_NEAR(after, ss.period(m), 1e-15);
+  }
+}
+
+TEST(LocalSearch, RejectsInfeasibleStart) {
+  TaskGraph g;
+  Task t;
+  t.wppe = t.wspe = 1e-3;
+  g.add_task(t);
+  g.add_task(t);
+  g.add_edge(0, 1, 200.0 * 1024.0);  // 400 kB buffer
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  Mapping m(2, 1);  // both on SPE0: infeasible
+  EXPECT_THROW(improve_mapping(ss, m), Error);
+}
+
+TEST(LocalSearch, FixesAnObviouslyBadPlacement) {
+  // One heavy SIMD task stuck on the PPE; a move step must push it to a
+  // SPE.
+  TaskGraph g;
+  Task heavy;
+  heavy.wppe = 10e-3;
+  heavy.wspe = 1e-3;
+  g.add_task(heavy);
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  Mapping m(1, 0);
+  const double after = improve_mapping(ss, m);
+  EXPECT_NEAR(after, 1e-3, 1e-12);
+  EXPECT_TRUE(ss.platform().is_spe(m.pe_of(0)));
+}
+
+TEST(LocalSearch, SwapEscapesMoveLocalOptimum) {
+  // Two PEs (PPE + 1 SPE), two tasks with opposite affinities placed on
+  // the wrong hosts.  A single move worsens the bottleneck, only a swap
+  // fixes it; with swaps enabled the optimum is reached.
+  TaskGraph g;
+  Task simd;  // fast on SPE
+  simd.wppe = 4e-3;
+  simd.wspe = 1e-3;
+  Task branchy;  // fast on PPE
+  branchy.wppe = 1e-3;
+  branchy.wspe = 4e-3;
+  g.add_task(simd);
+  g.add_task(branchy);
+  const SteadyStateAnalysis ss(g, platforms::qs22_with_spes(1));
+  Mapping m(2);
+  m.assign(0, 0);  // simd on PPE (bad)
+  m.assign(1, 1);  // branchy on SPE (bad); period = 4 ms
+  LocalSearchOptions opts;
+  opts.use_swaps = true;
+  const double after = improve_mapping(ss, m, opts);
+  EXPECT_NEAR(after, 1e-3, 1e-12);
+  EXPECT_EQ(m.pe_of(0), 1u);
+  EXPECT_EQ(m.pe_of(1), 0u);
+}
+
+TEST(LocalSearch, ReachesExhaustiveOptimumOnTinyInstances) {
+  gen::DagGenParams params;
+  params.task_count = 6;
+  int optimal_hits = 0;
+  const int trials = 6;
+  for (int seed = 1; seed <= trials; ++seed) {
+    params.seed = static_cast<std::uint64_t>(seed);
+    TaskGraph g = gen::daggen_random(params);
+    gen::set_ccr(g, 1.0);
+    const SteadyStateAnalysis ss(g, platforms::qs22_with_spes(2));
+    const auto brute = exhaustive_optimal_mapping(ss);
+    ASSERT_TRUE(brute.has_value());
+    const Mapping m = local_search_heuristic(ss);
+    if (ss.period(m) <= brute->period * 1.001) ++optimal_hits;
+    // Local search can be stuck in local optima, but never below optimal.
+    EXPECT_GE(ss.period(m), brute->period - 1e-12);
+  }
+  // It should find the true optimum on most tiny instances.
+  EXPECT_GE(optimal_hits, trials / 2);
+}
+
+TEST(LocalSearch, HeuristicBeatsItsGreedySeed) {
+  gen::DagGenParams params;
+  params.task_count = 30;
+  params.seed = 9;
+  TaskGraph g = gen::daggen_random(params);
+  gen::set_ccr(g, 0.775);
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  const double greedy = ss.period(greedy_cpu(ss));
+  const double polished = ss.period(local_search_heuristic(ss));
+  EXPECT_LE(polished, greedy + 1e-15);
+}
+
+}  // namespace
+}  // namespace cellstream::mapping

@@ -1,0 +1,303 @@
+#include "milp/branch_and_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace cellstream::milp {
+namespace {
+
+using lp::Coefficient;
+using lp::kInfinity;
+using lp::Problem;
+using lp::VarId;
+
+TEST(Milp, PureLpPassesThrough) {
+  Problem p;
+  p.add_variable(0.0, 3.0, 1.0);
+  Solver solver(std::move(p), {});
+  const Result r = solver.solve();
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, 0.0, 1e-8);
+}
+
+TEST(Milp, SingleBinaryRoundsAwayFromFraction) {
+  // min |x - 0.4|-ish: min 1*x st x >= 0.4 (binary)  ->  x = 1.
+  Problem p;
+  const VarId x = p.add_variable(0.0, 1.0, 1.0);
+  p.add_row(0.4, kInfinity, {{x, 1.0}});
+  Options opts;
+  opts.relative_gap = 0.0;
+  Solver solver(std::move(p), {x}, opts);
+  const Result r = solver.solve();
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.x[x], 1.0, 1e-9);
+  EXPECT_NEAR(r.objective, 1.0, 1e-8);
+}
+
+TEST(Milp, InfeasibleIntegerProblem) {
+  // 0.3 <= x <= 0.7 has no binary point.
+  Problem p;
+  const VarId x = p.add_variable(0.0, 1.0, 1.0);
+  p.add_row(0.3, 0.7, {{x, 1.0}});
+  Solver solver(std::move(p), {x});
+  EXPECT_EQ(solver.solve().status, Status::kInfeasible);
+}
+
+double brute_force_knapsack(const std::vector<double>& value,
+                            const std::vector<double>& weight,
+                            double capacity) {
+  const int n = static_cast<int>(value.size());
+  double best = 0.0;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    double v = 0.0, w = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) {
+        v += value[i];
+        w += weight[i];
+      }
+    }
+    if (w <= capacity + 1e-12) best = std::max(best, v);
+  }
+  return best;
+}
+
+class KnapsackMilp : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnapsackMilp, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  const int n = 10;
+  std::vector<double> value(n), weight(n);
+  for (int i = 0; i < n; ++i) {
+    value[i] = rng.uniform(1.0, 10.0);
+    weight[i] = rng.uniform(1.0, 6.0);
+  }
+  const double capacity = rng.uniform(8.0, 20.0);
+
+  Problem p;
+  std::vector<VarId> ints;
+  std::vector<Coefficient> row;
+  for (int i = 0; i < n; ++i) {
+    ints.push_back(p.add_variable(0.0, 1.0, -value[i]));
+    row.push_back({ints.back(), weight[i]});
+  }
+  p.add_row(-kInfinity, capacity, row);
+
+  Options opts;
+  opts.relative_gap = 0.0;  // exact
+  Solver solver(std::move(p), ints, opts);
+  const Result r = solver.solve();
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(-r.objective, brute_force_knapsack(value, weight, capacity),
+              1e-6);
+  EXPECT_LE(r.gap, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackMilp, ::testing::Range(0, 15));
+
+// Generalized assignment: tasks to machines with capacity, exactly-one
+// groups; compared against exhaustive enumeration.
+class GapMilp : public ::testing::TestWithParam<int> {};
+
+TEST_P(GapMilp, MatchesExhaustiveSearch) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 5);
+  const int tasks = 6, machines = 3;
+  std::vector<std::vector<double>> cost(tasks, std::vector<double>(machines));
+  std::vector<std::vector<double>> load(tasks, std::vector<double>(machines));
+  for (int t = 0; t < tasks; ++t) {
+    for (int m = 0; m < machines; ++m) {
+      cost[t][m] = rng.uniform(1.0, 9.0);
+      load[t][m] = rng.uniform(1.0, 4.0);
+    }
+  }
+  const double cap = 8.0;
+
+  Problem p;
+  std::vector<std::vector<VarId>> var(tasks, std::vector<VarId>(machines));
+  std::vector<VarId> ints;
+  for (int t = 0; t < tasks; ++t) {
+    for (int m = 0; m < machines; ++m) {
+      var[t][m] = p.add_variable(0.0, 1.0, cost[t][m]);
+      ints.push_back(var[t][m]);
+    }
+  }
+  for (int t = 0; t < tasks; ++t) {
+    std::vector<Coefficient> row;
+    for (int m = 0; m < machines; ++m) row.push_back({var[t][m], 1.0});
+    p.add_row(1.0, 1.0, row);
+  }
+  for (int m = 0; m < machines; ++m) {
+    std::vector<Coefficient> row;
+    for (int t = 0; t < tasks; ++t) row.push_back({var[t][m], load[t][m]});
+    p.add_row(-kInfinity, cap, row);
+  }
+
+  Options opts;
+  opts.relative_gap = 0.0;
+  Solver solver(std::move(p), ints, opts);
+  for (int t = 0; t < tasks; ++t) {
+    std::vector<VarId> group;
+    for (int m = 0; m < machines; ++m) group.push_back(var[t][m]);
+    solver.add_exactly_one_group(group);
+  }
+  const Result r = solver.solve();
+
+  // Exhaustive search over machines^tasks assignments.
+  double best = kInfinity;
+  std::vector<int> assign(tasks, 0);
+  const int total = static_cast<int>(std::pow(machines, tasks));
+  for (int code = 0; code < total; ++code) {
+    int c = code;
+    for (int t = 0; t < tasks; ++t) {
+      assign[t] = c % machines;
+      c /= machines;
+    }
+    std::vector<double> used(machines, 0.0);
+    double value = 0.0;
+    bool ok = true;
+    for (int t = 0; t < tasks; ++t) {
+      used[assign[t]] += load[t][assign[t]];
+      value += cost[t][assign[t]];
+      if (used[assign[t]] > cap + 1e-12) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) best = std::min(best, value);
+  }
+
+  if (std::isinf(best)) {
+    EXPECT_EQ(r.status, Status::kInfeasible);
+  } else {
+    ASSERT_EQ(r.status, Status::kOptimal);
+    EXPECT_NEAR(r.objective, best, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GapMilp, ::testing::Range(0, 10));
+
+TEST(Milp, RelativeGapStopsEarlyButStaysWithinGap) {
+  // Knapsack with a 20% allowed gap: the incumbent must be within 20% of
+  // the true optimum (and typically fewer nodes are explored).
+  Rng rng(4242);
+  const int n = 12;
+  std::vector<double> value(n), weight(n);
+  for (int i = 0; i < n; ++i) {
+    value[i] = rng.uniform(1.0, 10.0);
+    weight[i] = rng.uniform(1.0, 6.0);
+  }
+  const double capacity = 18.0;
+
+  const double exact = brute_force_knapsack(value, weight, capacity);
+
+  Problem p;
+  std::vector<VarId> ints;
+  std::vector<Coefficient> row;
+  for (int i = 0; i < n; ++i) {
+    ints.push_back(p.add_variable(0.0, 1.0, -value[i]));
+    row.push_back({ints.back(), weight[i]});
+  }
+  p.add_row(-kInfinity, capacity, row);
+
+  Options opts;
+  opts.relative_gap = 0.20;
+  Solver solver(std::move(p), ints, opts);
+  const Result r = solver.solve();
+  ASSERT_EQ(r.status, Status::kOptimal);
+  // Minimization objective is -value: incumbent within 20%.
+  EXPECT_LE(exact * 0.8, -r.objective + 1e-9);
+  EXPECT_LE(-r.objective, exact + 1e-9);
+}
+
+TEST(Milp, InitialIncumbentIsUsedWhenOptimal) {
+  // min x0 + x1 st x0 + x1 >= 1, binaries; optimal value 1.
+  Problem p;
+  const VarId a = p.add_variable(0, 1, 1.0);
+  const VarId b = p.add_variable(0, 1, 1.0);
+  p.add_row(1.0, kInfinity, {{a, 1.0}, {b, 1.0}});
+  Options opts;
+  opts.relative_gap = 0.0;
+  Solver solver(std::move(p), {a, b}, opts);
+  solver.add_initial_incumbent({1.0, {1.0, 0.0}});
+  const Result r = solver.solve();
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, 1.0, 1e-9);
+}
+
+TEST(Milp, RejectsInvalidInitialIncumbent) {
+  Problem p;
+  const VarId a = p.add_variable(0, 1, 1.0);
+  p.add_row(1.0, kInfinity, {{a, 1.0}});
+  Options opts;
+  opts.relative_gap = 0.0;
+  Solver solver(std::move(p), {a}, opts);
+  // Violates the row; must be ignored, and the true optimum (1.0) found.
+  solver.add_initial_incumbent({0.0, {0.0}});
+  const Result r = solver.solve();
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, 1.0, 1e-9);
+}
+
+TEST(Milp, RoundingCallbackAcceleratesAndIsVerified) {
+  // Callback proposes the known optimum; solver should accept it.
+  Problem p;
+  const VarId a = p.add_variable(0, 1, -3.0);
+  const VarId b = p.add_variable(0, 1, -2.0);
+  p.add_row(-kInfinity, 1.0, {{a, 1.0}, {b, 1.0}});  // at most one
+  Options opts;
+  opts.relative_gap = 0.0;
+  Solver solver(std::move(p), {a, b}, opts);
+  int calls = 0;
+  solver.set_rounding_callback(
+      [&](const std::vector<double>&) -> std::optional<Candidate> {
+        ++calls;
+        return Candidate{-3.0, {1.0, 0.0}};
+      });
+  const Result r = solver.solve();
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, -3.0, 1e-9);
+  EXPECT_GE(calls, 0);
+}
+
+TEST(Milp, NodeLimitReturnsLimitStatus) {
+  Rng rng(7);
+  const int n = 16;
+  Problem p;
+  std::vector<VarId> ints;
+  std::vector<Coefficient> row;
+  for (int i = 0; i < n; ++i) {
+    ints.push_back(p.add_variable(0.0, 1.0, -rng.uniform(1.0, 2.0)));
+    row.push_back({ints.back(), rng.uniform(1.0, 2.0)});
+  }
+  p.add_row(-kInfinity, 9.0, {row});
+  Options opts;
+  opts.relative_gap = 0.0;
+  opts.max_nodes = 2;
+  Solver solver(std::move(p), ints, opts);
+  const Result r = solver.solve();
+  EXPECT_TRUE(r.status == Status::kLimitFeasible ||
+              r.status == Status::kLimitNoSolution);
+  EXPECT_LE(r.nodes, 3u);
+}
+
+TEST(Milp, BranchPriorityIsAccepted) {
+  Problem p;
+  const VarId a = p.add_variable(0, 1, -1.0);
+  const VarId b = p.add_variable(0, 1, -1.0);
+  p.add_row(-kInfinity, 1.0, {{a, 1.0}, {b, 1.0}});
+  Options opts;
+  opts.relative_gap = 0.0;
+  Solver solver(std::move(p), {a, b}, opts);
+  solver.set_branch_priority(b, 10.0);
+  EXPECT_THROW(solver.set_branch_priority(99, 1.0), Error);
+  const Result r = solver.solve();
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, -1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cellstream::milp

@@ -1,0 +1,150 @@
+// Robustness tests for the branch-and-bound solver: malformed callbacks,
+// degenerate problems, group edge cases and bound bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "milp/branch_and_bound.hpp"
+#include "support/rng.hpp"
+
+namespace cellstream::milp {
+namespace {
+
+using lp::Coefficient;
+using lp::kInfinity;
+using lp::Problem;
+using lp::VarId;
+
+TEST(MilpRobustness, MalformedCandidatesAreIgnored) {
+  Problem p;
+  const VarId a = p.add_variable(0, 1, -1.0);
+  p.add_row(-kInfinity, 1.0, {{a, 1.0}});
+  Options opts;
+  opts.relative_gap = 0.0;
+  Solver solver(std::move(p), {a}, opts);
+  int calls = 0;
+  solver.set_rounding_callback(
+      [&](const std::vector<double>&) -> std::optional<Candidate> {
+        ++calls;
+        switch (calls % 4) {
+          case 0: return std::nullopt;
+          case 1: return Candidate{0.0, {}};            // wrong size
+          case 2: return Candidate{0.0, {0.5}};         // fractional
+          default: return Candidate{-5.0, {2.0}};       // bound-violating
+        }
+      });
+  const Result r = solver.solve();
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, -1.0, 1e-9);
+}
+
+TEST(MilpRobustness, CandidateWithLyingObjectiveIsRecomputed) {
+  Problem p;
+  const VarId a = p.add_variable(0, 1, 3.0);
+  p.add_row(1.0, kInfinity, {{a, 1.0}});  // forces a = 1 -> objective 3
+  Options opts;
+  opts.relative_gap = 0.0;
+  Solver solver(std::move(p), {a}, opts);
+  // Claims objective 0, truth is 3; the solver must keep the truth.
+  solver.add_initial_incumbent({0.0, {1.0}});
+  const Result r = solver.solve();
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, 3.0, 1e-9);
+}
+
+TEST(MilpRobustness, AllVariablesFixedByBounds) {
+  Problem p;
+  const VarId a = p.add_variable(1.0, 1.0, 2.0);  // fixed binary
+  const VarId b = p.add_variable(0.0, 0.0, 5.0);
+  p.add_row(-kInfinity, 2.0, {{a, 1.0}, {b, 1.0}});
+  Solver solver(std::move(p), {a, b});
+  const Result r = solver.solve();
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-9);
+  EXPECT_NEAR(r.x[a], 1.0, 1e-12);
+  EXPECT_NEAR(r.x[b], 0.0, 1e-12);
+}
+
+TEST(MilpRobustness, GroupValidation) {
+  Problem p;
+  const VarId a = p.add_variable(0, 1, 1.0);
+  const VarId b = p.add_variable(0, 1, 1.0);
+  const VarId c = p.add_variable(0, 5, 1.0);  // not integer
+  p.add_row(1.0, 1.0, {{a, 1.0}, {b, 1.0}});
+  Solver solver(std::move(p), {a, b});
+  EXPECT_THROW(solver.add_exactly_one_group({a, c}), Error);
+  solver.add_exactly_one_group({a, b});
+  EXPECT_THROW(solver.add_exactly_one_group({b}), Error);  // already grouped
+  const Result r = solver.solve();
+  EXPECT_EQ(r.status, Status::kOptimal);
+}
+
+TEST(MilpRobustness, NonBinaryIntegerVariableRejected) {
+  Problem p;
+  const VarId wide = p.add_variable(0, 3, 1.0);
+  EXPECT_THROW(Solver(std::move(p), {wide}), Error);
+}
+
+TEST(MilpRobustness, ZeroTimeLimitReturnsImmediately) {
+  Problem p;
+  const VarId a = p.add_variable(0, 1, -1.0);
+  p.add_row(-kInfinity, 0.6, {{a, 1.0}});
+  Options opts;
+  opts.time_limit_seconds = 0.0;
+  Solver solver(std::move(p), {a}, opts);
+  const Result r = solver.solve();
+  EXPECT_EQ(r.status, Status::kLimitNoSolution);
+  EXPECT_EQ(r.nodes, 0u);
+}
+
+TEST(MilpRobustness, BestBoundNeverAboveIncumbent) {
+  Rng rng(31);
+  for (int trial = 0; trial < 6; ++trial) {
+    Problem p;
+    std::vector<VarId> ints;
+    std::vector<Coefficient> row;
+    for (int i = 0; i < 12; ++i) {
+      ints.push_back(p.add_variable(0, 1, -rng.uniform(1.0, 4.0)));
+      row.push_back({ints.back(), rng.uniform(1.0, 3.0)});
+    }
+    p.add_row(-kInfinity, rng.uniform(6.0, 12.0), row);
+    Options opts;
+    opts.relative_gap = 0.10;
+    Solver solver(std::move(p), ints, opts);
+    const Result r = solver.solve();
+    ASSERT_EQ(r.status, Status::kOptimal);
+    EXPECT_LE(r.best_bound, r.objective + 1e-9);
+    EXPECT_LE(r.gap, 0.10 + 1e-9);
+    EXPECT_GE(r.gap, 0.0);
+  }
+}
+
+TEST(MilpRobustness, InfeasibleAfterGroupPropagation) {
+  // a + b = 1 (group), but a row forces both to 1: infeasible.
+  Problem p;
+  const VarId a = p.add_variable(0, 1, 1.0);
+  const VarId b = p.add_variable(0, 1, 1.0);
+  p.add_row(1.0, 1.0, {{a, 1.0}, {b, 1.0}});
+  p.add_row(2.0, kInfinity, {{a, 1.0}, {b, 1.0}});
+  Solver solver(std::move(p), {a, b});
+  solver.add_exactly_one_group({a, b});
+  EXPECT_EQ(solver.solve().status, Status::kInfeasible);
+}
+
+TEST(MilpRobustness, RepeatedSolvesAreIndependent) {
+  Problem p;
+  const VarId a = p.add_variable(0, 1, -2.0);
+  const VarId b = p.add_variable(0, 1, -3.0);
+  p.add_row(-kInfinity, 1.0, {{a, 1.0}, {b, 1.0}});
+  Options opts;
+  opts.relative_gap = 0.0;
+  Solver solver(std::move(p), {a, b}, opts);
+  const Result first = solver.solve();
+  const Result second = solver.solve();
+  ASSERT_EQ(first.status, Status::kOptimal);
+  ASSERT_EQ(second.status, Status::kOptimal);
+  EXPECT_NEAR(first.objective, second.objective, 1e-12);
+  EXPECT_EQ(first.x, second.x);
+}
+
+}  // namespace
+}  // namespace cellstream::milp

@@ -1,0 +1,108 @@
+#include "platform/cell.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cellstream {
+namespace {
+
+TEST(CellPlatform, DefaultsMatchThePaper) {
+  const CellPlatform p;
+  EXPECT_EQ(p.ppe_count, 1u);
+  EXPECT_EQ(p.spe_count, 8u);
+  EXPECT_DOUBLE_EQ(p.interface_bandwidth, 25.0e9);
+  EXPECT_DOUBLE_EQ(p.eib_bandwidth, 200.0e9);
+  EXPECT_EQ(p.local_store_bytes, 256u * 1024u);
+  EXPECT_EQ(p.spe_dma_slots, 16u);
+  EXPECT_EQ(p.ppe_to_spe_dma_slots, 8u);
+}
+
+TEST(CellPlatform, PeIndexingPutsPpesFirst) {
+  CellPlatform p;
+  p.ppe_count = 2;
+  p.spe_count = 3;
+  EXPECT_EQ(p.pe_count(), 5u);
+  EXPECT_EQ(p.kind(0), PeKind::kPpe);
+  EXPECT_EQ(p.kind(1), PeKind::kPpe);
+  EXPECT_EQ(p.kind(2), PeKind::kSpe);
+  EXPECT_EQ(p.kind(4), PeKind::kSpe);
+  EXPECT_THROW(p.kind(5), Error);
+}
+
+TEST(CellPlatform, PeNames) {
+  CellPlatform p;
+  EXPECT_EQ(p.pe_name(0), "PPE0");
+  EXPECT_EQ(p.pe_name(1), "SPE0");
+  EXPECT_EQ(p.pe_name(8), "SPE7");
+  EXPECT_THROW(p.pe_name(9), Error);
+}
+
+TEST(CellPlatform, BufferBudgetSubtractsCode) {
+  CellPlatform p;
+  p.local_store_bytes = 256 * 1024;
+  p.code_bytes = 64 * 1024;
+  EXPECT_EQ(p.buffer_budget(), 192u * 1024u);
+}
+
+TEST(CellPlatform, BufferBudgetRejectsOversizedCode) {
+  CellPlatform p;
+  p.code_bytes = p.local_store_bytes + 1;
+  EXPECT_THROW(p.buffer_budget(), Error);
+}
+
+TEST(CellPlatform, ValidateCatchesBadParameters) {
+  CellPlatform p;
+  p.ppe_count = 0;
+  EXPECT_THROW(p.validate(), Error);
+
+  p = CellPlatform{};
+  p.interface_bandwidth = 0.0;
+  EXPECT_THROW(p.validate(), Error);
+
+  p = CellPlatform{};
+  p.code_bytes = p.local_store_bytes + 1;
+  EXPECT_THROW(p.validate(), Error);
+
+  p = CellPlatform{};
+  p.spe_dma_slots = 0;
+  EXPECT_THROW(p.validate(), Error);
+
+  EXPECT_NO_THROW(CellPlatform{}.validate());
+}
+
+TEST(CellPlatform, ValidateAllowsSpeLessMachine) {
+  CellPlatform p;
+  p.spe_count = 0;
+  p.spe_dma_slots = 0;  // irrelevant without SPEs
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Presets, PlayStation3HasSixSpes) {
+  const CellPlatform p = platforms::playstation3();
+  EXPECT_EQ(p.ppe_count, 1u);
+  EXPECT_EQ(p.spe_count, 6u);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Presets, Qs22SingleCell) {
+  const CellPlatform p = platforms::qs22_single_cell();
+  EXPECT_EQ(p.ppe_count, 1u);
+  EXPECT_EQ(p.spe_count, 8u);
+}
+
+TEST(Presets, Qs22DualCell) {
+  const CellPlatform p = platforms::qs22_dual_cell();
+  EXPECT_EQ(p.ppe_count, 2u);
+  EXPECT_EQ(p.spe_count, 16u);
+}
+
+TEST(Presets, Qs22WithSpesSweepsFigure7Axis) {
+  for (std::size_t s = 0; s <= 8; ++s) {
+    const CellPlatform p = platforms::qs22_with_spes(s);
+    EXPECT_EQ(p.spe_count, s);
+    EXPECT_NO_THROW(p.validate());
+  }
+  EXPECT_THROW(platforms::qs22_with_spes(9), Error);
+}
+
+}  // namespace
+}  // namespace cellstream

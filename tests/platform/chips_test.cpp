@@ -1,0 +1,167 @@
+// Tests for the multi-chip extension (paper Section 7 future work).
+
+#include <gtest/gtest.h>
+
+#include "core/steady_state.hpp"
+#include "des/flow_network.hpp"
+#include "mapping/milp_mapper.hpp"
+#include "sim/simulator.hpp"
+
+namespace cellstream {
+namespace {
+
+TEST(Chips, SingleChipPlatformsHaveOneChip) {
+  const CellPlatform p = platforms::qs22_single_cell();
+  EXPECT_EQ(p.chip_count, 1u);
+  for (PeId pe = 0; pe < p.pe_count(); ++pe) EXPECT_EQ(p.chip_of(pe), 0u);
+  EXPECT_FALSE(p.crosses_chips(0, 8));
+}
+
+TEST(Chips, DualCellSplitsPesInBlocks) {
+  const CellPlatform p = platforms::qs22_dual_cell();
+  EXPECT_EQ(p.chip_count, 2u);
+  EXPECT_EQ(p.chip_of(0), 0u);  // PPE0
+  EXPECT_EQ(p.chip_of(1), 1u);  // PPE1
+  EXPECT_EQ(p.chip_of(2), 0u);  // SPE0
+  EXPECT_EQ(p.chip_of(9), 0u);  // SPE7 (last of chip 0)
+  EXPECT_EQ(p.chip_of(10), 1u); // SPE8 (first of chip 1)
+  EXPECT_EQ(p.chip_of(17), 1u); // SPE15
+  EXPECT_TRUE(p.crosses_chips(0, 1));
+  EXPECT_TRUE(p.crosses_chips(2, 10));
+  EXPECT_FALSE(p.crosses_chips(2, 9));
+}
+
+TEST(Chips, ValidateRequiresPpePerChip) {
+  CellPlatform p = platforms::qs22_dual_cell();
+  p.ppe_count = 1;
+  EXPECT_THROW(p.validate(), Error);
+  p = platforms::qs22_dual_cell();
+  p.cross_chip_bandwidth = 0.0;
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TaskGraph two_task_graph(double data_bytes) {
+  TaskGraph g("pair");
+  Task t;
+  t.wppe = 1e-6;
+  t.wspe = 1e-6;
+  g.add_task(t);
+  g.add_task(t);
+  g.add_edge(0, 1, data_bytes);
+  return g;
+}
+
+TEST(Chips, CrossChipLinkBecomesTheBottleneck) {
+  CellPlatform p = platforms::qs22_dual_cell();
+  p.cross_chip_bandwidth = 1.0e6;  // crippled link: 1 MB/s
+  p.local_store_bytes = 64 * 1024 * 1024;
+  p.code_bytes = 0;
+  const TaskGraph g = two_task_graph(1.0e6);  // 1 MB/instance -> 1 s on link
+  const SteadyStateAnalysis ss(g, p);
+  Mapping m(2);
+  m.assign(0, 2);   // SPE0 (chip 0)
+  m.assign(1, 10);  // SPE8 (chip 1)
+  const ResourceUsage u = ss.usage(m);
+  EXPECT_NEAR(u.period, 1.0, 1e-9);
+  EXPECT_NE(u.bottleneck.find("link"), std::string::npos);
+  // Same chip: only the 25 GB/s interfaces matter.
+  m.assign(1, 3);  // SPE1 (chip 0)
+  EXPECT_LT(ss.period(m), 1e-3);
+}
+
+TEST(Chips, SameChipTrafficDoesNotTouchTheLink) {
+  const CellPlatform p = platforms::qs22_dual_cell();
+  const TaskGraph g = two_task_graph(4096.0);
+  const SteadyStateAnalysis ss(g, p);
+  Mapping m(2);
+  m.assign(0, 2);
+  m.assign(1, 3);
+  const ResourceUsage u = ss.usage(m);
+  EXPECT_DOUBLE_EQ(u.cross_chip_out_bytes[0], 0.0);
+  EXPECT_DOUBLE_EQ(u.cross_chip_in_bytes[1], 0.0);
+  m.assign(1, 10);
+  const ResourceUsage v = ss.usage(m);
+  EXPECT_DOUBLE_EQ(v.cross_chip_out_bytes[0], 4096.0);
+  EXPECT_DOUBLE_EQ(v.cross_chip_in_bytes[1], 4096.0);
+}
+
+TEST(Chips, SimulatorThrottlesCrossChipTransfers) {
+  CellPlatform p = platforms::qs22_dual_cell();
+  p.cross_chip_bandwidth = 1.0e6;  // 1 MB/s
+  p.local_store_bytes = 64 * 1024 * 1024;
+  p.code_bytes = 0;
+  const TaskGraph g = two_task_graph(1.0e4);  // 10 kB -> 10 ms on the link
+  const SteadyStateAnalysis ss(g, p);
+  Mapping cross(2);
+  cross.assign(0, 2);
+  cross.assign(1, 10);
+  Mapping local(2);
+  local.assign(0, 2);
+  local.assign(1, 3);
+  sim::SimOptions o;
+  o.instances = 200;
+  o.dispatch_overhead = 1e-9;
+  o.dma_issue_overhead = 1e-9;
+  const double cross_tput = sim::simulate(ss, cross, o).steady_throughput;
+  const double local_tput = sim::simulate(ss, local, o).steady_throughput;
+  EXPECT_LT(cross_tput, 0.05 * local_tput);
+  EXPECT_NEAR(cross_tput, 100.0, 10.0);  // ~1 / 10 ms
+}
+
+TEST(Chips, MilpFormulationAvoidsACrippledLink) {
+  // Two heavy communicating tasks, both SPE-friendly.  With a dead-slow
+  // link the optimum keeps them on one chip.
+  CellPlatform p = platforms::qs22_dual_cell();
+  p.cross_chip_bandwidth = 1.0e5;
+  TaskGraph g("pair");
+  Task t;
+  t.wppe = 5e-3;
+  t.wspe = 1e-3;
+  g.add_task(t);
+  g.add_task(t);
+  g.add_edge(0, 1, 8192.0);
+  const SteadyStateAnalysis ss(g, p);
+  mapping::MilpMapperOptions opts;
+  opts.milp.relative_gap = 0.0;
+  const mapping::MilpMapperResult r = mapping::solve_optimal_mapping(ss, opts);
+  EXPECT_FALSE(p.crosses_chips(r.mapping.pe_of(0), r.mapping.pe_of(1)))
+      << r.mapping.to_string(p);
+  EXPECT_NEAR(r.period, 1e-3, 1e-6);
+}
+
+TEST(FlowNetworkResources, ExtraResourceThrottlesFlows) {
+  des::Engine engine;
+  des::FlowNetwork net(engine, {100.0, 100.0}, {100.0, 100.0});
+  const des::ResourceId link = net.add_resource(10.0);
+  std::vector<double> done;
+  net.start_transfer_over({net.out_port(0), link, net.in_port(1)}, 10.0,
+                          [&] { done.push_back(engine.now()); });
+  engine.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_NEAR(done[0], 1.0, 1e-9);  // 10 B at 10 B/s, not 100 B/s
+}
+
+TEST(FlowNetworkResources, SharedLinkSplitsFairly) {
+  des::Engine engine;
+  des::FlowNetwork net(engine, {100.0, 100.0, 100.0, 100.0},
+                       {100.0, 100.0, 100.0, 100.0});
+  const des::ResourceId link = net.add_resource(20.0);
+  std::vector<double> done;
+  auto cb = [&] { done.push_back(engine.now()); };
+  net.start_transfer_over({net.out_port(0), link, net.in_port(2)}, 10.0, cb);
+  net.start_transfer_over({net.out_port(1), link, net.in_port(3)}, 10.0, cb);
+  engine.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 1.0, 1e-9);  // 10 B/s each over the shared link
+  EXPECT_NEAR(done[1], 1.0, 1e-9);
+}
+
+TEST(FlowNetworkResources, RejectsUnknownResource) {
+  des::Engine engine;
+  des::FlowNetwork net(engine, {10.0}, {10.0});
+  EXPECT_THROW(net.start_transfer_over({42}, 1.0, nullptr), Error);
+  EXPECT_THROW(net.add_resource(0.0), Error);
+}
+
+}  // namespace
+}  // namespace cellstream

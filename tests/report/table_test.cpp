@@ -1,0 +1,69 @@
+#include "report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace cellstream::report {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(Table, NumericRowsUseFormatNumber) {
+  Table t({"x", "y"});
+  t.add_numeric_row({1.5, 0.25});
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv, "x,y\n1.5,0.25\n");
+}
+
+TEST(Table, CsvRoundTripShape) {
+  Table t({"h1", "h2", "h3"});
+  t.add_row({"a", "b", "c"});
+  t.add_row({"d", "e", "f"});
+  EXPECT_EQ(t.to_csv(), "h1,h2,h3\na,b,c\nd,e,f\n");
+}
+
+TEST(RenderSeries, MergesXAxes) {
+  Series s1{"up", {{1, 10}, {2, 20}}};
+  Series s2{"down", {{2, 5}, {3, 1}}};
+  const std::string out = render_series("x", {s1, s2});
+  EXPECT_NE(out.find("up"), std::string::npos);
+  EXPECT_NE(out.find("down"), std::string::npos);
+  // x = 1 has no "down" sample: a dash placeholder appears.
+  EXPECT_NE(out.find("-"), std::string::npos);
+  EXPECT_NE(out.find("20"), std::string::npos);
+}
+
+TEST(Summarize, BasicStatistics) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+  EXPECT_EQ(s.count, 4u);
+}
+
+TEST(Summarize, EmptyAndSingleton) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const Summary s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace cellstream::report

@@ -1,0 +1,186 @@
+#include "schedule/periodic_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/apps.hpp"
+#include "gen/daggen.hpp"
+#include "mapping/heuristics.hpp"
+#include "sim/simulator.hpp"
+
+namespace cellstream::schedule {
+namespace {
+
+Task make_task(double wppe, double wspe, int peek = 0) {
+  Task t;
+  t.wppe = wppe;
+  t.wspe = wspe;
+  t.peek = peek;
+  return t;
+}
+
+TaskGraph chain3() {
+  TaskGraph g("chain3");
+  g.add_task(make_task(1e-3, 0.5e-3));
+  g.add_task(make_task(2e-3, 1e-3));
+  g.add_task(make_task(1e-3, 0.5e-3, 1));
+  g.add_edge(0, 1, 1024.0);
+  g.add_edge(1, 2, 1024.0);
+  return g;
+}
+
+TEST(PeriodicSchedule, PeriodMatchesAnalysis) {
+  const TaskGraph g = chain3();
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  Mapping m(3, 0);
+  m.assign(1, 1);
+  const PeriodicSchedule sched(ss, m);
+  EXPECT_DOUBLE_EQ(sched.period(), ss.period(m));
+  EXPECT_DOUBLE_EQ(sched.throughput(), ss.throughput(m));
+}
+
+TEST(PeriodicSchedule, SlotsArePackedTopologicallyPerPe) {
+  const TaskGraph g = chain3();
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  const Mapping m = ppe_only_mapping(g);
+  const PeriodicSchedule sched(ss, m);
+  const auto& slots = sched.pe_timelines()[0];
+  ASSERT_EQ(slots.size(), 3u);
+  EXPECT_DOUBLE_EQ(slots[0].offset, 0.0);
+  EXPECT_DOUBLE_EQ(slots[1].offset, 1e-3);
+  EXPECT_DOUBLE_EQ(slots[2].offset, 3e-3);
+  EXPECT_NO_THROW(sched.validate());
+}
+
+TEST(PeriodicSchedule, TaskStartFollowsFirstPeriodRecurrence) {
+  const TaskGraph g = chain3();
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  Mapping m(3, 0);
+  m.assign(1, 1);
+  m.assign(2, 2);
+  const PeriodicSchedule sched(ss, m);
+  const auto& fp = ss.first_periods();
+  const double T = sched.period();
+  // Task 0 instance 0 starts in period fp[0] at its offset (0 on its PE).
+  EXPECT_NEAR(sched.task_start(0, 0), fp[0] * T, 1e-15);
+  EXPECT_NEAR(sched.task_start(1, 0), fp[1] * T, 1e-15);
+  // Instance i shifts by exactly i periods.
+  EXPECT_NEAR(sched.task_start(1, 5) - sched.task_start(1, 0), 5 * T, 1e-12);
+}
+
+TEST(PeriodicSchedule, WarmupCoversDeepestTask) {
+  const TaskGraph g = chain3();
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  const PeriodicSchedule sched(ss, ppe_only_mapping(g));
+  const auto& fp = ss.first_periods();
+  EXPECT_EQ(sched.warmup_periods(), fp[2] + 1);
+  EXPECT_DOUBLE_EQ(sched.warmup_seconds(),
+                   sched.period() * static_cast<double>(fp[2] + 1));
+}
+
+TEST(PeriodicSchedule, CommDemandsOnlyForRemoteEdges) {
+  const TaskGraph g = chain3();
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  Mapping m(3, 0);
+  m.assign(2, 1);  // only edge 1->2 is remote
+  const PeriodicSchedule sched(ss, m);
+  ASSERT_EQ(sched.comm_demands().size(), 1u);
+  const CommDemand& c = sched.comm_demands()[0];
+  EXPECT_EQ(c.edge, 1u);
+  EXPECT_EQ(c.src, 0u);
+  EXPECT_EQ(c.dst, 1u);
+  EXPECT_DOUBLE_EQ(c.bytes, 1024.0);
+  EXPECT_DOUBLE_EQ(c.bandwidth_share, 1024.0 / sched.period());
+}
+
+TEST(PeriodicSchedule, StreamMakespanBeatsNaiveSerialExecution) {
+  const TaskGraph g = chain3();
+  const CellPlatform p = platforms::qs22_single_cell();
+  const SteadyStateAnalysis ss(g, p);
+  Mapping m(3, 0);
+  m.assign(1, 1);
+  m.assign(2, 2);
+  const PeriodicSchedule sched(ss, m);
+  const std::int64_t n = 1000;
+  // Pipelined: ~n * period + warmup; serial would be n * sum of work.
+  const double serial = 1000.0 * (1e-3 + 1e-3 + 0.5e-3);
+  EXPECT_LT(sched.stream_makespan(n), serial);
+  EXPECT_GE(sched.stream_makespan(n),
+            static_cast<double>(n - 1) * sched.period());
+}
+
+class ScheduleValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleValidation, RandomGraphsValidateUnderEveryHeuristic) {
+  gen::DagGenParams params;
+  params.task_count = 20;
+  params.seed = static_cast<std::uint64_t>(GetParam()) * 13 + 5;
+  TaskGraph g = gen::daggen_random(params);
+  gen::set_ccr(g, 0.775 + 0.7 * (GetParam() % 3));
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  for (const char* name : {"ppe-only", "greedy-mem", "greedy-cpu"}) {
+    const Mapping m = mapping::run_heuristic(name, ss);
+    const PeriodicSchedule sched(ss, m);
+    EXPECT_NO_THROW(sched.validate()) << name;
+    EXPECT_GT(sched.warmup_periods(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleValidation, ::testing::Range(0, 8));
+
+TEST(PeriodicSchedule, TextRenderingsMentionEverything) {
+  const TaskGraph g = gen::audio_encoder_graph(4);
+  const SteadyStateAnalysis ss(g, platforms::playstation3());
+  const Mapping m = mapping::greedy_cpu(ss);
+  const PeriodicSchedule sched(ss, m);
+  const std::string text = sched.to_text();
+  EXPECT_NE(text.find("period"), std::string::npos);
+  EXPECT_NE(text.find("frame_reader"), std::string::npos);
+  const std::string gantt = sched.to_gantt(3, 48);
+  EXPECT_NE(gantt.find("legend:"), std::string::npos);
+  EXPECT_NE(gantt.find("PPE0"), std::string::npos);
+  EXPECT_THROW(sched.to_gantt(0), Error);
+}
+
+TEST(PeriodicSchedule, SelfTimedSimulatorKeepsUpWithTheStaticSchedule) {
+  // The periodic schedule is one valid execution; the work-conserving
+  // simulator (with negligible overheads) must complete a stream at least
+  // as fast as the schedule's throughput predicts, up to its fill/drain
+  // transients, and never faster than the period bound allows.
+  TaskGraph g("pipe");
+  for (int i = 0; i < 5; ++i) {
+    g.add_task(make_task(0.8e-3, 0.4e-3, i == 2 ? 1 : 0));
+  }
+  for (int i = 0; i + 1 < 5; ++i) g.add_edge(i, i + 1, 2048.0);
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  Mapping m(5, 0);
+  for (TaskId t = 1; t < 5; ++t) m.assign(t, t);
+  const PeriodicSchedule sched(ss, m);
+
+  sim::SimOptions o;
+  o.instances = 1500;
+  o.dispatch_overhead = 1e-9;
+  o.dma_issue_overhead = 1e-9;
+  const sim::SimResult run = sim::simulate(ss, m, o);
+  const double schedule_makespan = sched.stream_makespan(1500);
+  EXPECT_LE(run.makespan, schedule_makespan * 1.05);
+  // And no faster than the period bound (modulo fill/drain accounting).
+  EXPECT_GE(run.makespan, 1499.0 * sched.period() * 0.95);
+}
+
+TEST(PeriodicSchedule, RejectsMismatchedMapping) {
+  const TaskGraph g = chain3();
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  EXPECT_THROW(PeriodicSchedule(ss, Mapping(99, 0)), Error);
+}
+
+TEST(PeriodicSchedule, InstanceQueriesValidateArguments) {
+  const TaskGraph g = chain3();
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  const PeriodicSchedule sched(ss, ppe_only_mapping(g));
+  EXPECT_THROW(sched.task_start(99, 0), Error);
+  EXPECT_THROW(sched.task_start(0, -1), Error);
+  EXPECT_THROW(sched.stream_makespan(0), Error);
+}
+
+}  // namespace
+}  // namespace cellstream::schedule

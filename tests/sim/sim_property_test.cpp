@@ -1,0 +1,117 @@
+// Property tests of the Cell simulator against the analytic model, over
+// randomized graphs, mappings and CCR levels.
+
+#include <gtest/gtest.h>
+
+#include "gen/daggen.hpp"
+#include "mapping/heuristics.hpp"
+#include "sim/simulator.hpp"
+
+namespace cellstream::sim {
+namespace {
+
+struct Scenario {
+  int seed;
+  double ccr;
+  const char* strategy;
+};
+
+class SimProperties : public ::testing::TestWithParam<Scenario> {
+ protected:
+  void SetUp() override {
+    gen::DagGenParams params;
+    params.task_count = 18;
+    params.seed = static_cast<std::uint64_t>(GetParam().seed) * 41 + 3;
+    graph_ = gen::daggen_random(params);
+    gen::set_ccr(graph_, GetParam().ccr);
+    analysis_.emplace(graph_, platforms::qs22_single_cell());
+    mapping_ = mapping::run_heuristic(GetParam().strategy, *analysis_);
+    if (!analysis_->feasible(mapping_)) {
+      mapping_ = mapping::ppe_only(*analysis_);
+    }
+    SimOptions options;
+    options.instances = 600;
+    options.dispatch_overhead = 1e-9;  // isolate the resource model
+    options.dma_issue_overhead = 1e-9;
+    result_ = simulate(*analysis_, mapping_, options);
+  }
+
+  TaskGraph graph_;
+  std::optional<SteadyStateAnalysis> analysis_;
+  Mapping mapping_;
+  SimResult result_;
+};
+
+TEST_P(SimProperties, CompletionTimesStrictlyIncrease) {
+  for (std::size_t i = 1; i < result_.completion_times.size(); ++i) {
+    EXPECT_GT(result_.completion_times[i], result_.completion_times[i - 1]);
+  }
+}
+
+TEST_P(SimProperties, SteadyThroughputWithinAnalyticBound) {
+  const double bound = analysis_->throughput(mapping_);
+  EXPECT_LE(result_.steady_throughput, bound * 1.02);
+}
+
+TEST_P(SimProperties, SteadyThroughputReasonablyCloseToTheBound) {
+  // With near-zero overheads the resource model is the only limiter; the
+  // event-driven execution should reach most of the fluid bound.
+  const double bound = analysis_->throughput(mapping_);
+  EXPECT_GE(result_.steady_throughput, 0.70 * bound)
+      << "strategy " << GetParam().strategy << " ccr " << GetParam().ccr;
+}
+
+TEST_P(SimProperties, DmaTransferCountMatchesTheMapping) {
+  // Each remote edge fetches once per instance; each memory stream reads
+  // or writes once per instance.
+  std::uint64_t expected_per_instance = 0;
+  for (EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    if (mapping_.is_remote(graph_, e)) ++expected_per_instance;
+  }
+  for (const Task& t : graph_.tasks()) {
+    if (t.read_bytes > 0.0) ++expected_per_instance;
+    if (t.write_bytes > 0.0) ++expected_per_instance;
+  }
+  EXPECT_EQ(result_.dma_transfers, expected_per_instance * 600);
+}
+
+TEST_P(SimProperties, BusyTimeMatchesWorkDone) {
+  // Each PE's accumulated busy time equals instances x per-instance work
+  // of its tasks.
+  const CellPlatform& p = analysis_->platform();
+  for (PeId pe = 0; pe < p.pe_count(); ++pe) {
+    double expected = 0.0;
+    for (TaskId t : mapping_.tasks_on(pe)) {
+      expected += p.is_ppe(pe) ? graph_.task(t).wppe : graph_.task(t).wspe;
+    }
+    EXPECT_NEAR(result_.pe_busy_seconds[pe], expected * 600.0,
+                1e-6 * (1.0 + expected * 600.0));
+  }
+}
+
+TEST_P(SimProperties, MakespanIsLastCompletion) {
+  EXPECT_DOUBLE_EQ(result_.makespan, result_.completion_times.back());
+  EXPECT_GT(result_.overall_throughput, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SimProperties,
+    ::testing::Values(Scenario{1, 0.775, "greedy-cpu"},
+                      Scenario{2, 0.775, "greedy-mem"},
+                      Scenario{3, 1.5, "greedy-cpu"},
+                      Scenario{4, 1.5, "round-robin"},
+                      Scenario{5, 2.3, "greedy-mem"},
+                      Scenario{6, 2.3, "ppe-only"},
+                      Scenario{7, 3.4, "greedy-cpu"},
+                      Scenario{8, 4.6, "greedy-period"}),
+    [](const ::testing::TestParamInfo<Scenario>& info) {
+      std::string name = std::string(info.param.strategy) + "_seed" +
+                         std::to_string(info.param.seed);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace cellstream::sim

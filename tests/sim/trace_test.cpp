@@ -1,0 +1,108 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/apps.hpp"
+#include "mapping/heuristics.hpp"
+#include "sim/simulator.hpp"
+
+namespace cellstream::sim {
+namespace {
+
+SimResult traced_run(std::size_t instances = 20) {
+  const TaskGraph g = gen::audio_encoder_graph(2);
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  const Mapping m = mapping::greedy_cpu(ss);
+  SimOptions o;
+  o.instances = instances;
+  o.record_trace = true;
+  return simulate(ss, m, o);
+}
+
+TEST(Trace, DisabledByDefault) {
+  const TaskGraph g = gen::audio_encoder_graph(2);
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  SimOptions o;
+  o.instances = 5;
+  const SimResult r = simulate(ss, mapping::greedy_cpu(ss), o);
+  EXPECT_TRUE(r.trace.empty());
+}
+
+TEST(Trace, RecordsOneComputeEventPerTaskInstance) {
+  const SimResult r = traced_run(20);
+  std::size_t computes = 0;
+  for (const TraceEvent& e : r.trace) {
+    if (e.kind == TraceEvent::Kind::kCompute) ++computes;
+  }
+  // 9 tasks x 20 instances (audio encoder with 2 subband groups).
+  EXPECT_EQ(computes, 9u * 20u);
+}
+
+TEST(Trace, TransferEventsMatchDmaCount) {
+  const SimResult r = traced_run(20);
+  std::size_t transfers = 0;
+  for (const TraceEvent& e : r.trace) {
+    if (e.kind == TraceEvent::Kind::kTransfer) ++transfers;
+  }
+  EXPECT_EQ(transfers, r.dma_transfers);
+}
+
+TEST(Trace, EventsHaveSaneTimesAndInstances) {
+  const SimResult r = traced_run(10);
+  ASSERT_FALSE(r.trace.empty());
+  for (const TraceEvent& e : r.trace) {
+    EXPECT_GE(e.start, 0.0);
+    EXPECT_GE(e.end, e.start);
+    EXPECT_LE(e.end, r.makespan * 1.001 + 1e-9);
+    EXPECT_GE(e.instance, 0);
+    EXPECT_FALSE(e.name.empty());
+  }
+}
+
+TEST(Trace, ComputeEventsNeverOverlapOnOnePe) {
+  const SimResult r = traced_run(15);
+  // Group by PE and check pairwise disjointness (events are appended in
+  // completion order, hence sorted by end; starts must follow suit).
+  std::vector<double> last_end(16, -1.0);
+  for (const TraceEvent& e : r.trace) {
+    if (e.kind != TraceEvent::Kind::kCompute) continue;
+    EXPECT_GE(e.start, last_end[e.pe] - 1e-12)
+        << e.name << " overlaps on PE " << e.pe;
+    last_end[e.pe] = e.end;
+  }
+}
+
+TEST(ChromeTrace, ProducesValidLookingJson) {
+  const SimResult r = traced_run(5);
+  const CellPlatform p = platforms::qs22_single_cell();
+  const std::string json = chrome_trace_json(r.trace, p);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("PPE0"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"compute\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"transfer\""), std::string::npos);
+  // Balanced braces (cheap structural sanity check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ChromeTrace, EscapesSpecialCharacters) {
+  std::vector<TraceEvent> events;
+  events.push_back({TraceEvent::Kind::kCompute, "weird\"name\\", 0, 0.0,
+                    1.0, 0});
+  const std::string json =
+      chrome_trace_json(events, platforms::qs22_single_cell());
+  EXPECT_NE(json.find("weird\\\"name\\\\"), std::string::npos);
+}
+
+TEST(ChromeTrace, RejectsNegativeDurations) {
+  std::vector<TraceEvent> events;
+  events.push_back({TraceEvent::Kind::kCompute, "bad", 0, 2.0, 1.0, 0});
+  EXPECT_THROW(chrome_trace_json(events, platforms::qs22_single_cell()),
+               Error);
+}
+
+}  // namespace
+}  // namespace cellstream::sim

@@ -1,0 +1,35 @@
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cellstream {
+namespace {
+
+TEST(Ensure, PassesOnTrue) {
+  EXPECT_NO_THROW(CS_ENSURE(1 + 1 == 2, "math works"));
+}
+
+TEST(Ensure, ThrowsErrorOnFalse) {
+  EXPECT_THROW(CS_ENSURE(false, "boom"), Error);
+}
+
+TEST(Ensure, MessageContainsContext) {
+  try {
+    CS_ENSURE(2 < 1, "ordering violated");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ordering violated"), std::string::npos);
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, IsARuntimeError) {
+  EXPECT_THROW(throw Error("x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cellstream

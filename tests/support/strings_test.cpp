@@ -1,0 +1,68 @@
+#include "support/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cellstream {
+namespace {
+
+TEST(Split, Basic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Split, NoSeparator) {
+  const auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(starts_with("wppe=1", "wppe"));
+  EXPECT_FALSE(starts_with("wp", "wppe"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(FormatNumber, TrimsTrailingZeros) {
+  EXPECT_EQ(format_number(12.5), "12.5");
+  EXPECT_EQ(format_number(3.0), "3");
+  EXPECT_EQ(format_number(0.775), "0.775");
+}
+
+TEST(FormatNumber, HandlesNonFinite) {
+  EXPECT_EQ(format_number(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_number(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(format_number(std::numeric_limits<double>::quiet_NaN()), "nan");
+}
+
+TEST(FormatBytes, PicksUnit) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(256 * 1024), "256 kB");
+  EXPECT_EQ(format_bytes(1.5 * 1024 * 1024), "1.5 MB");
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+}  // namespace
+}  // namespace cellstream
