@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_constraints.dir/ablation_constraints.cpp.o"
+  "CMakeFiles/ablation_constraints.dir/ablation_constraints.cpp.o.d"
+  "ablation_constraints"
+  "ablation_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

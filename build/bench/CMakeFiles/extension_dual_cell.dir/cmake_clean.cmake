@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_dual_cell.dir/extension_dual_cell.cpp.o"
+  "CMakeFiles/extension_dual_cell.dir/extension_dual_cell.cpp.o.d"
+  "extension_dual_cell"
+  "extension_dual_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_dual_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

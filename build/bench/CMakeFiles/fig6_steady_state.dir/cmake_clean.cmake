@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_steady_state.dir/fig6_steady_state.cpp.o"
+  "CMakeFiles/fig6_steady_state.dir/fig6_steady_state.cpp.o.d"
+  "fig6_steady_state"
+  "fig6_steady_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_steady_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

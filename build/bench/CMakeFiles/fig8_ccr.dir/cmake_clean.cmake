@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_ccr.dir/fig8_ccr.cpp.o"
+  "CMakeFiles/fig8_ccr.dir/fig8_ccr.cpp.o.d"
+  "fig8_ccr"
+  "fig8_ccr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_ccr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

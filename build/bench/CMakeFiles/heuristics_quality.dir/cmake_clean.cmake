@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heuristics_quality.dir/heuristics_quality.cpp.o"
+  "CMakeFiles/heuristics_quality.dir/heuristics_quality.cpp.o.d"
+  "heuristics_quality"
+  "heuristics_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heuristics_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

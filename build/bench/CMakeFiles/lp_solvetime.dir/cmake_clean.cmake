@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_solvetime.dir/lp_solvetime.cpp.o"
+  "CMakeFiles/lp_solvetime.dir/lp_solvetime.cpp.o.d"
+  "lp_solvetime"
+  "lp_solvetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_solvetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

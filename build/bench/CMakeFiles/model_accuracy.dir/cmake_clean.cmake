@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_accuracy.dir/model_accuracy.cpp.o"
+  "CMakeFiles/model_accuracy.dir/model_accuracy.cpp.o.d"
+  "model_accuracy"
+  "model_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

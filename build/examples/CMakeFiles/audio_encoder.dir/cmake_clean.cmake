@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audio_encoder.dir/audio_encoder.cpp.o"
+  "CMakeFiles/audio_encoder.dir/audio_encoder.cpp.o.d"
+  "audio_encoder"
+  "audio_encoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audio_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

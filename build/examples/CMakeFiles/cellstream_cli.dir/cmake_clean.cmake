@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellstream_cli.dir/cellstream_cli.cpp.o"
+  "CMakeFiles/cellstream_cli.dir/cellstream_cli.cpp.o.d"
+  "cellstream_cli"
+  "cellstream_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellstream_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

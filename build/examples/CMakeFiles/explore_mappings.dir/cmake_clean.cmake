@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_mappings.dir/explore_mappings.cpp.o"
+  "CMakeFiles/explore_mappings.dir/explore_mappings.cpp.o.d"
+  "explore_mappings"
+  "explore_mappings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_mappings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

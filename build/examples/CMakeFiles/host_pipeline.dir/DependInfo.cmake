@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/host_pipeline.cpp" "examples/CMakeFiles/host_pipeline.dir/host_pipeline.cpp.o" "gcc" "examples/CMakeFiles/host_pipeline.dir/host_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schedule/CMakeFiles/cs_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cs_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/cs_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/cs_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cs_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/cs_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/cs_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/cs_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/cs_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_pipeline.dir/host_pipeline.cpp.o"
+  "CMakeFiles/host_pipeline.dir/host_pipeline.cpp.o.d"
+  "host_pipeline"
+  "host_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("platform")
+subdirs("core")
+subdirs("schedule")
+subdirs("runtime")
+subdirs("lp")
+subdirs("milp")
+subdirs("mapping")
+subdirs("des")
+subdirs("sim")
+subdirs("gen")
+subdirs("report")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_core.dir/mapping.cpp.o"
+  "CMakeFiles/cs_core.dir/mapping.cpp.o.d"
+  "CMakeFiles/cs_core.dir/steady_state.cpp.o"
+  "CMakeFiles/cs_core.dir/steady_state.cpp.o.d"
+  "CMakeFiles/cs_core.dir/task_graph.cpp.o"
+  "CMakeFiles/cs_core.dir/task_graph.cpp.o.d"
+  "libcs_core.a"
+  "libcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_des.dir/engine.cpp.o"
+  "CMakeFiles/cs_des.dir/engine.cpp.o.d"
+  "CMakeFiles/cs_des.dir/flow_network.cpp.o"
+  "CMakeFiles/cs_des.dir/flow_network.cpp.o.d"
+  "libcs_des.a"
+  "libcs_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

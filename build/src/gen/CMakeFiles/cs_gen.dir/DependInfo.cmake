@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/apps.cpp" "src/gen/CMakeFiles/cs_gen.dir/apps.cpp.o" "gcc" "src/gen/CMakeFiles/cs_gen.dir/apps.cpp.o.d"
+  "/root/repo/src/gen/daggen.cpp" "src/gen/CMakeFiles/cs_gen.dir/daggen.cpp.o" "gcc" "src/gen/CMakeFiles/cs_gen.dir/daggen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cs_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/cs_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_gen.dir/apps.cpp.o"
+  "CMakeFiles/cs_gen.dir/apps.cpp.o.d"
+  "CMakeFiles/cs_gen.dir/daggen.cpp.o"
+  "CMakeFiles/cs_gen.dir/daggen.cpp.o.d"
+  "libcs_gen.a"
+  "libcs_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

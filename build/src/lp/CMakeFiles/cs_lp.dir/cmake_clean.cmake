@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_lp.dir/problem.cpp.o"
+  "CMakeFiles/cs_lp.dir/problem.cpp.o.d"
+  "CMakeFiles/cs_lp.dir/simplex.cpp.o"
+  "CMakeFiles/cs_lp.dir/simplex.cpp.o.d"
+  "CMakeFiles/cs_lp.dir/sparse_lu.cpp.o"
+  "CMakeFiles/cs_lp.dir/sparse_lu.cpp.o.d"
+  "libcs_lp.a"
+  "libcs_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/annealing.cpp" "src/mapping/CMakeFiles/cs_mapping.dir/annealing.cpp.o" "gcc" "src/mapping/CMakeFiles/cs_mapping.dir/annealing.cpp.o.d"
+  "/root/repo/src/mapping/complexity.cpp" "src/mapping/CMakeFiles/cs_mapping.dir/complexity.cpp.o" "gcc" "src/mapping/CMakeFiles/cs_mapping.dir/complexity.cpp.o.d"
+  "/root/repo/src/mapping/exhaustive.cpp" "src/mapping/CMakeFiles/cs_mapping.dir/exhaustive.cpp.o" "gcc" "src/mapping/CMakeFiles/cs_mapping.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/mapping/heuristics.cpp" "src/mapping/CMakeFiles/cs_mapping.dir/heuristics.cpp.o" "gcc" "src/mapping/CMakeFiles/cs_mapping.dir/heuristics.cpp.o.d"
+  "/root/repo/src/mapping/local_search.cpp" "src/mapping/CMakeFiles/cs_mapping.dir/local_search.cpp.o" "gcc" "src/mapping/CMakeFiles/cs_mapping.dir/local_search.cpp.o.d"
+  "/root/repo/src/mapping/milp_mapper.cpp" "src/mapping/CMakeFiles/cs_mapping.dir/milp_mapper.cpp.o" "gcc" "src/mapping/CMakeFiles/cs_mapping.dir/milp_mapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cs_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/cs_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cs_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/cs_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

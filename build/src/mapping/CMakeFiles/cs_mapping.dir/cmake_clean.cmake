@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_mapping.dir/annealing.cpp.o"
+  "CMakeFiles/cs_mapping.dir/annealing.cpp.o.d"
+  "CMakeFiles/cs_mapping.dir/complexity.cpp.o"
+  "CMakeFiles/cs_mapping.dir/complexity.cpp.o.d"
+  "CMakeFiles/cs_mapping.dir/exhaustive.cpp.o"
+  "CMakeFiles/cs_mapping.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/cs_mapping.dir/heuristics.cpp.o"
+  "CMakeFiles/cs_mapping.dir/heuristics.cpp.o.d"
+  "CMakeFiles/cs_mapping.dir/local_search.cpp.o"
+  "CMakeFiles/cs_mapping.dir/local_search.cpp.o.d"
+  "CMakeFiles/cs_mapping.dir/milp_mapper.cpp.o"
+  "CMakeFiles/cs_mapping.dir/milp_mapper.cpp.o.d"
+  "libcs_mapping.a"
+  "libcs_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

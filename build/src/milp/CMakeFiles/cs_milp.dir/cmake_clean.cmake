@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_milp.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/cs_milp.dir/branch_and_bound.cpp.o.d"
+  "libcs_milp.a"
+  "libcs_milp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_platform.dir/cell.cpp.o"
+  "CMakeFiles/cs_platform.dir/cell.cpp.o.d"
+  "libcs_platform.a"
+  "libcs_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_report.dir/table.cpp.o"
+  "CMakeFiles/cs_report.dir/table.cpp.o.d"
+  "libcs_report.a"
+  "libcs_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

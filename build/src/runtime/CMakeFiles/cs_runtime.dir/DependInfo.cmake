@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/host_runtime.cpp" "src/runtime/CMakeFiles/cs_runtime.dir/host_runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/cs_runtime.dir/host_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cs_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/cs_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

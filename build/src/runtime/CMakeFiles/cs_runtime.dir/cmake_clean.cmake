@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_runtime.dir/host_runtime.cpp.o"
+  "CMakeFiles/cs_runtime.dir/host_runtime.cpp.o.d"
+  "libcs_runtime.a"
+  "libcs_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_schedule.dir/periodic_schedule.cpp.o"
+  "CMakeFiles/cs_schedule.dir/periodic_schedule.cpp.o.d"
+  "libcs_schedule.a"
+  "libcs_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

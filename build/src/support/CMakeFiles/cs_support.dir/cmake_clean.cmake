@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_support.dir/error.cpp.o"
+  "CMakeFiles/cs_support.dir/error.cpp.o.d"
+  "CMakeFiles/cs_support.dir/rng.cpp.o"
+  "CMakeFiles/cs_support.dir/rng.cpp.o.d"
+  "CMakeFiles/cs_support.dir/strings.cpp.o"
+  "CMakeFiles/cs_support.dir/strings.cpp.o.d"
+  "libcs_support.a"
+  "libcs_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_test.dir/gen/apps_test.cpp.o"
+  "CMakeFiles/gen_test.dir/gen/apps_test.cpp.o.d"
+  "CMakeFiles/gen_test.dir/gen/daggen_test.cpp.o"
+  "CMakeFiles/gen_test.dir/gen/daggen_test.cpp.o.d"
+  "CMakeFiles/gen_test.dir/gen/paper_graph_regression_test.cpp.o"
+  "CMakeFiles/gen_test.dir/gen/paper_graph_regression_test.cpp.o.d"
+  "gen_test"
+  "gen_test.pdb"
+  "gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

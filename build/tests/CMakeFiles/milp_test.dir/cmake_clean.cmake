@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milp_test.dir/milp/branch_and_bound_test.cpp.o"
+  "CMakeFiles/milp_test.dir/milp/branch_and_bound_test.cpp.o.d"
+  "CMakeFiles/milp_test.dir/milp/milp_robustness_test.cpp.o"
+  "CMakeFiles/milp_test.dir/milp/milp_robustness_test.cpp.o.d"
+  "milp_test"
+  "milp_test.pdb"
+  "milp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
