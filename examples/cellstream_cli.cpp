@@ -16,6 +16,7 @@
 #include <sstream>
 #include <string>
 
+#include "check/invariants.hpp"
 #include "gen/daggen.hpp"
 #include "support/strings.hpp"
 #include "mapping/heuristics.hpp"
@@ -48,7 +49,9 @@ int usage() {
                "greedy-period | local-search | round-robin | ppe-only\n"
                "  cellstream_cli simulate <graph-file> <mapping-file> "
                "[instances] [trace.json]\n"
-               "  cellstream_cli schedule <graph-file> <mapping-file>\n");
+               "  cellstream_cli schedule <graph-file> <mapping-file>\n"
+               "  cellstream_cli check    <graph-file> <mapping-file> "
+               "[instances]\n");
   return 2;
 }
 
@@ -149,6 +152,21 @@ int cmd_schedule(int argc, char** argv) {
   return 0;
 }
 
+int cmd_check(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const TaskGraph graph = TaskGraph::from_text(read_file(argv[2]));
+  const Mapping mapping = Mapping::from_text(read_file(argv[3]));
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_single_cell());
+  sim::SimOptions options;
+  if (argc > 4) options.instances = static_cast<std::size_t>(std::atoi(argv[4]));
+  options.record_trace = true;
+  const sim::SimResult run = sim::simulate(analysis, mapping, options);
+  const check::InvariantReport report =
+      check::check_invariants(analysis, mapping, run);
+  std::printf("%s\n", report.to_string().c_str());
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -160,6 +178,7 @@ int main(int argc, char** argv) {
     if (command == "solve") return cmd_solve(argc, argv);
     if (command == "simulate") return cmd_simulate(argc, argv);
     if (command == "schedule") return cmd_schedule(argc, argv);
+    if (command == "check") return cmd_check(argc, argv);
     return usage();
   } catch (const cellstream::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

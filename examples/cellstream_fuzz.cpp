@@ -1,0 +1,93 @@
+// Differential fuzz harness over the generate -> map -> schedule ->
+// simulate pipeline (src/check).  Exit code 0 means every case held all
+// invariants; 1 means at least one violation (each printed with its
+// one-seed reproducer); 2 is a usage error.
+//
+//   cellstream_fuzz --smoke              # CI: bounded seed set + budget
+//   cellstream_fuzz --cases 500 --seed 7 # long local run
+//   cellstream_fuzz --case 1234567890    # reproduce one reported failure
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "check/fuzz_driver.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cellstream_fuzz [options]\n"
+               "  --smoke            bounded CI preset (fixed seed set)\n"
+               "  --cases <n>        number of cases (default 100)\n"
+               "  --seed <s>         base seed of the case stream\n"
+               "  --instances <n>    stream length per simulation\n"
+               "  --case <seed>      reproduce a single case by its seed\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cellstream;
+  check::FuzzOptions options;
+  bool have_single_case = false;
+  std::uint64_t single_case_seed = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_u64 = [&](std::uint64_t& out_value) {
+      if (i + 1 >= argc) return false;
+      const char* text = argv[++i];
+      char* end = nullptr;
+      out_value = static_cast<std::uint64_t>(std::strtoull(text, &end, 10));
+      return end != text && *end == '\0';
+    };
+    std::uint64_t value = 0;
+    if (arg == "--smoke") {
+      // The CI budget: a fixed, deterministic seed set small enough for
+      // the ctest timeout (see tests/CMakeLists.txt) yet >= 100 pipelines.
+      options.base_seed = 2026;
+      options.cases = 120;
+      options.instances = 150;
+      options.milp_time_limit = 3.0;
+    } else if (arg == "--cases" && next_u64(value)) {
+      options.cases = static_cast<std::size_t>(value);
+    } else if (arg == "--seed" && next_u64(value)) {
+      options.base_seed = value;
+    } else if (arg == "--instances" && next_u64(value)) {
+      options.instances = static_cast<std::size_t>(value);
+    } else if (arg == "--case" && next_u64(value)) {
+      have_single_case = true;
+      single_case_seed = value;
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    if (have_single_case) {
+      const check::FuzzCase scenario =
+          check::make_case(single_case_seed, options);
+      std::cout << "reproducing " << scenario.to_string() << "\n";
+      const std::vector<check::Violation> violations =
+          check::run_case(scenario, options);
+      if (violations.empty()) {
+        std::cout << "all invariants held\n";
+        return 0;
+      }
+      for (const check::Violation& v : violations) {
+        std::cout << "[" << v.invariant << "] " << v.detail << "\n";
+      }
+      return 1;
+    }
+    const check::FuzzReport report = check::run_fuzz(options, &std::cout);
+    std::cout << report.summary() << "\n";
+    return report.ok() ? 0 : 1;
+  } catch (const cellstream::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,6 +1,7 @@
 #!/bin/sh
 set -x
 ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
+build/examples/cellstream_fuzz --smoke 2>&1 | tee /root/repo/fuzz_output.txt
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   case "$b" in (*micro*) "$b" --benchmark_min_time=0.2 ;; (*) "$b" ;; esac

@@ -1,0 +1,180 @@
+#include "check/differential.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "mapping/exhaustive.hpp"
+#include "mapping/heuristics.hpp"
+#include "mapping/milp_mapper.hpp"
+#include "support/strings.hpp"
+
+namespace cellstream::check {
+
+namespace {
+
+void add(std::vector<Violation>& out, std::string detail) {
+  out.push_back({"differential", std::move(detail)});
+}
+
+}  // namespace
+
+std::vector<Violation> check_outcomes(
+    const SteadyStateAnalysis& analysis,
+    const std::vector<MapperOutcome>& outcomes,
+    const DifferentialOptions& options) {
+  std::vector<Violation> out;
+  const double rel = options.relative_tolerance;
+
+  // D1: feasibility and period consistency against the shared analysis.
+  std::vector<bool> feasible(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const MapperOutcome& o = outcomes[i];
+    const std::vector<std::string> problems = analysis.violations(o.mapping);
+    feasible[i] = problems.empty();
+    if (o.claims_feasible) {
+      for (const std::string& p : problems) {
+        add(out, o.name + " returned an infeasible mapping: " + p);
+      }
+    }
+    const double recomputed = analysis.period(o.mapping);
+    if (std::abs(recomputed - o.period) > rel * std::max(1.0, recomputed)) {
+      add(out, o.name + " reports period " + format_number(o.period) +
+                   "s but the analysis recomputes " +
+                   format_number(recomputed) + "s for its mapping");
+    }
+  }
+
+  // D2: identical mappings must carry identical periods.
+  for (std::size_t a = 0; a < outcomes.size(); ++a) {
+    for (std::size_t b = a + 1; b < outcomes.size(); ++b) {
+      if (outcomes[a].mapping == outcomes[b].mapping &&
+          outcomes[a].period != outcomes[b].period) {
+        add(out, outcomes[a].name + " and " + outcomes[b].name +
+                     " found the identical mapping but report different "
+                     "periods (" +
+                     format_number(outcomes[a].period) + "s vs " +
+                     format_number(outcomes[b].period) + "s)");
+      }
+    }
+  }
+
+  // D3: optimality claims.  period_opt <= period_other * (1 + gap), for
+  // every *feasible* competitor (the optimum needn't beat a mapping that
+  // breaks a hard constraint).
+  for (const MapperOutcome& opt : outcomes) {
+    if (!opt.optimal) continue;
+    for (std::size_t b = 0; b < outcomes.size(); ++b) {
+      const MapperOutcome& other = outcomes[b];
+      if (&other == &opt || !feasible[b]) continue;
+      const double limit =
+          other.period * (1.0 + opt.claimed_gap) + rel * other.period;
+      if (opt.period > limit) {
+        add(out, opt.name + " claims optimality within " +
+                     format_number(opt.claimed_gap * 100.0) + "% but " +
+                     other.name + " beats it: " +
+                     format_number(opt.period) + "s vs " +
+                     format_number(other.period) + "s");
+      }
+    }
+  }
+
+  // D4: lower bounds must not exceed any proven optimum (gap 0).
+  for (const MapperOutcome& opt : outcomes) {
+    if (!opt.optimal || opt.claimed_gap > 0.0) continue;
+    for (const MapperOutcome& other : outcomes) {
+      if (!other.has_lower_bound) continue;
+      if (other.lower_bound > opt.period * (1.0 + rel)) {
+        add(out, other.name + " claims lower bound " +
+                     format_number(other.lower_bound) + "s above the " +
+                     opt.name + " optimum " + format_number(opt.period) +
+                     "s");
+      }
+    }
+  }
+  return out;
+}
+
+DifferentialReport cross_check_mappers(const SteadyStateAnalysis& analysis,
+                                       const DifferentialOptions& options) {
+  CS_ENSURE(analysis.graph().task_count() <= options.max_tasks,
+            "cross_check_mappers: graph too large for the exhaustive "
+            "reference (" +
+                std::to_string(analysis.graph().task_count()) + " tasks > " +
+                std::to_string(options.max_tasks) + ")");
+  DifferentialReport report;
+
+  const auto exhaustive = mapping::exhaustive_optimal_mapping(analysis);
+  CS_ENSURE(exhaustive.has_value(),
+            "cross_check_mappers: no feasible mapping exists");
+  {
+    MapperOutcome outcome;
+    outcome.name = "exhaustive";
+    outcome.mapping = exhaustive->mapping;
+    outcome.period = exhaustive->period;
+    outcome.optimal = true;
+    report.outcomes.push_back(std::move(outcome));
+  }
+
+  if (options.run_milp) {
+    mapping::MilpMapperOptions milp_options;
+    milp_options.milp.relative_gap = options.milp_gap;
+    milp_options.milp.time_limit_seconds = options.milp_time_limit;
+    const mapping::MilpMapperResult milp =
+        mapping::solve_optimal_mapping(analysis, milp_options);
+    MapperOutcome outcome;
+    outcome.name = "milp";
+    outcome.mapping = milp.mapping;
+    outcome.period = milp.period;
+    // Only a clean kOptimal run earned its gap claim; a limit-terminated
+    // run still contributes its incumbent (D1/D2) and bound (D4).
+    outcome.optimal = milp.status == milp::Status::kOptimal;
+    outcome.claimed_gap = options.milp_gap;
+    outcome.has_lower_bound = milp.status == milp::Status::kOptimal ||
+                              milp.status == milp::Status::kLimitFeasible;
+    outcome.lower_bound = milp.best_bound;
+    report.outcomes.push_back(std::move(outcome));
+  }
+
+  for (const char* name : {"greedy-mem", "greedy-cpu"}) {
+    MapperOutcome outcome;
+    outcome.name = name;
+    outcome.mapping = mapping::run_heuristic(name, analysis);
+    outcome.period = analysis.period(outcome.mapping);
+    outcome.claims_feasible = false;  // memory-feasible only (Section 6.3)
+    report.outcomes.push_back(std::move(outcome));
+    // The admission criterion the greedies *do* promise is the local
+    // store; breaking it is a heuristic bug, not a modeling gap.
+    for (const Violation& v :
+         check_local_store(analysis, report.outcomes.back().mapping)) {
+      report.violations.push_back(
+          {"differential",
+           report.outcomes.back().name + ": " + v.detail});
+    }
+  }
+
+  std::vector<Violation> rule_violations =
+      check_outcomes(analysis, report.outcomes, options);
+  report.violations.insert(report.violations.end(),
+                           std::make_move_iterator(rule_violations.begin()),
+                           std::make_move_iterator(rule_violations.end()));
+  return report;
+}
+
+std::string DifferentialReport::to_string() const {
+  std::ostringstream os;
+  os << outcomes.size() << " mappers cross-checked: "
+     << (ok() ? "consistent"
+              : std::to_string(violations.size()) + " violation(s)");
+  for (const MapperOutcome& o : outcomes) {
+    os << "\n  " << o.name << ": period " << format_number(o.period) << "s"
+       << (o.optimal ? " (optimal within " +
+                           format_number(o.claimed_gap * 100.0) + "%)"
+                     : "");
+  }
+  for (const Violation& v : violations) {
+    os << "\n  [" << v.invariant << "] " << v.detail;
+  }
+  return os.str();
+}
+
+}  // namespace cellstream::check

@@ -1,0 +1,76 @@
+#pragma once
+// Differential oracle over the mapping strategies (docs/TESTING.md).
+//
+// On graphs small enough for the exhaustive mapper, the four strategies of
+// the paper's evaluation must agree with each other in precise ways:
+//
+//   D1  every mapper's output is feasible and its reported period matches
+//       the steady-state analysis recomputation,
+//   D2  mappers returning the identical mapping report identical periods,
+//   D3  a mapper claiming optimality within gap g (exhaustive: g = 0;
+//       MILP: the paper's 5 %) is never beaten by any other mapper by more
+//       than that gap: period_opt <= period_other x (1 + g),
+//   D4  a claimed lower bound (the MILP's best_bound) never exceeds the
+//       exhaustive optimum.
+//
+// check_outcomes() applies the rules to an arbitrary outcome set, so tests
+// can feed fabricated results and prove the oracle actually rejects them;
+// cross_check_mappers() produces the real outcome set (exhaustive, MILP,
+// GREEDYMEM, GREEDYCPU) and applies the rules.
+
+#include <string>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "core/steady_state.hpp"
+
+namespace cellstream::check {
+
+/// One mapper's claim about a (graph, platform) instance.
+struct MapperOutcome {
+  std::string name;          ///< "exhaustive", "milp", "greedy-mem", ...
+  Mapping mapping;
+  double period = 0.0;       ///< Reported steady-state period.
+  bool optimal = false;      ///< Claims optimality within claimed_gap.
+  double claimed_gap = 0.0;  ///< Relative gap of the optimality claim.
+  bool has_lower_bound = false;
+  double lower_bound = 0.0;  ///< Claimed lower bound on any period (D4).
+  /// Whether the mapper promises full feasibility (all hard constraints).
+  /// The greedy heuristics only guarantee the local-store constraint, so
+  /// their outcomes set this false: an infeasible greedy mapping is then
+  /// excluded from the dominance rule D3 instead of raising a false alarm.
+  bool claims_feasible = true;
+};
+
+struct DifferentialOptions {
+  /// Relative gap the MILP mapper is run with (the paper's 5 %).
+  double milp_gap = 0.05;
+  double milp_time_limit = 10.0;
+  /// Relative numeric slack for period comparisons.
+  double relative_tolerance = 1e-9;
+  /// Refuse graphs larger than this (exhaustive search explodes).
+  std::size_t max_tasks = 8;
+  /// Skip the MILP mapper (exhaustive + greedies only).
+  bool run_milp = true;
+};
+
+struct DifferentialReport {
+  std::vector<MapperOutcome> outcomes;
+  std::vector<Violation> violations;
+  bool ok() const { return violations.empty(); }
+  std::string to_string() const;
+};
+
+/// Apply rules D1-D4 to `outcomes`; empty result = consistent.
+std::vector<Violation> check_outcomes(
+    const SteadyStateAnalysis& analysis,
+    const std::vector<MapperOutcome>& outcomes,
+    const DifferentialOptions& options = {});
+
+/// Run exhaustive, MILP (optional), GREEDYMEM and GREEDYCPU on the
+/// analysis' graph and cross-check them.  Throws if the graph exceeds
+/// options.max_tasks.
+DifferentialReport cross_check_mappers(const SteadyStateAnalysis& analysis,
+                                       const DifferentialOptions& options = {});
+
+}  // namespace cellstream::check

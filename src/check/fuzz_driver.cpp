@@ -1,0 +1,197 @@
+#include "check/fuzz_driver.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "gen/daggen.hpp"
+#include "mapping/heuristics.hpp"
+#include "schedule/periodic_schedule.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace cellstream::check {
+
+namespace {
+
+const char* const kStrategies[] = {"greedy-mem", "greedy-cpu", "greedy-period",
+                                   "round-robin", "ppe-only"};
+const char* const kPlatforms[] = {"qs22", "qs22", "qs22", "ps3", "qs22-4spe",
+                                  "qs22-dual"};
+
+CellPlatform platform_by_name(const std::string& name) {
+  if (name == "qs22") return platforms::qs22_single_cell();
+  if (name == "ps3") return platforms::playstation3();
+  if (name == "qs22-4spe") return platforms::qs22_with_spes(4);
+  if (name == "qs22-dual") return platforms::qs22_dual_cell();
+  throw Error("fuzz: unknown platform preset '" + name + "'");
+}
+
+}  // namespace
+
+std::uint64_t case_seed_of(std::uint64_t base_seed, std::size_t index) {
+  Rng rng(base_seed ^ (0x9E3779B97F4A7C15ULL *
+                       (static_cast<std::uint64_t>(index) + 1)));
+  return rng();
+}
+
+FuzzCase make_case(std::uint64_t case_seed, const FuzzOptions& options) {
+  Rng rng(case_seed);
+  FuzzCase scenario;
+  scenario.case_seed = case_seed;
+  scenario.differential = rng.bernoulli(options.differential_probability);
+  scenario.task_count = static_cast<std::size_t>(
+      scenario.differential
+          ? rng.uniform_int(
+                3, static_cast<std::int64_t>(options.differential_max_tasks))
+          : rng.uniform_int(static_cast<std::int64_t>(options.min_tasks),
+                            static_cast<std::int64_t>(options.max_tasks)));
+  scenario.ccr = gen::kPaperCcrValues[rng.uniform_int(0, 5)];
+  scenario.strategy =
+      kStrategies[rng.uniform_int(0, std::size(kStrategies) - 1)];
+  scenario.platform =
+      kPlatforms[rng.uniform_int(0, std::size(kPlatforms) - 1)];
+  return scenario;
+}
+
+std::string FuzzCase::to_string() const {
+  std::ostringstream os;
+  os << "case " << case_seed << " (" << task_count << " tasks, ccr " << ccr
+     << ", " << strategy << ", " << platform
+     << (differential ? ", differential" : "") << ")";
+  return os.str();
+}
+
+std::vector<Violation> run_case(const FuzzCase& scenario,
+                                const FuzzOptions& options) {
+  std::vector<Violation> violations;
+  const auto pipeline_error = [&violations](const std::string& stage,
+                                            const std::string& what) {
+    violations.push_back({"pipeline", stage + ": " + what});
+  };
+
+  // Generate.  Graph-shape knobs come from a child stream of the case
+  // seed, so the one seed reproduces the whole scenario.
+  Rng shape_rng(scenario.case_seed ^ 0xA5A5A5A5A5A5A5A5ULL);
+  gen::DagGenParams params;
+  params.task_count = scenario.task_count;
+  params.seed = scenario.case_seed;
+  params.fat = shape_rng.uniform(0.2, 0.8);
+  params.regularity = shape_rng.uniform(0.3, 1.0);
+  params.density = shape_rng.uniform(0.2, 0.8);
+  params.jump = static_cast<std::size_t>(shape_rng.uniform_int(1, 3));
+  TaskGraph graph;
+  try {
+    graph = gen::daggen_random(params);
+    gen::set_ccr(graph, scenario.ccr);
+  } catch (const Error& e) {
+    pipeline_error("generate", e.what());
+    return violations;
+  }
+
+  const SteadyStateAnalysis analysis(graph, platform_by_name(scenario.platform));
+
+  // Map.  Every heuristic admits tasks by local-store fit, so an overflow
+  // here is a mapper bug — recorded, then the run falls back to the PPE.
+  Mapping mapping;
+  try {
+    mapping = mapping::run_heuristic(scenario.strategy, analysis);
+  } catch (const Error& e) {
+    pipeline_error("map", e.what());
+    return violations;
+  }
+  std::vector<Violation> store = check_local_store(analysis, mapping);
+  if (!store.empty()) {
+    for (Violation& v : store) {
+      violations.push_back({"pipeline",
+                            scenario.strategy + " broke its local-store "
+                            "admission rule: " + v.detail});
+    }
+    mapping = mapping::ppe_only(analysis);
+  }
+
+  // Schedule: the periodic schedule's own validator must accept it.
+  try {
+    schedule::PeriodicSchedule sched(analysis, mapping);
+    sched.validate();
+  } catch (const Error& e) {
+    pipeline_error("schedule", e.what());
+  }
+
+  // Simulate with a full trace, then run the invariant oracle.
+  try {
+    sim::SimOptions sim_options;
+    sim_options.instances = options.instances;
+    sim_options.record_trace = true;
+    const sim::SimResult result =
+        sim::simulate(analysis, mapping, sim_options);
+    InvariantReport report =
+        check_invariants(analysis, mapping, result, options.invariants);
+    violations.insert(violations.end(),
+                      std::make_move_iterator(report.violations.begin()),
+                      std::make_move_iterator(report.violations.end()));
+  } catch (const Error& e) {
+    pipeline_error("simulate", e.what());
+  }
+
+  // Differential oracle on small graphs.
+  if (scenario.differential) {
+    try {
+      DifferentialOptions diff;
+      diff.milp_time_limit = options.milp_time_limit;
+      diff.max_tasks = options.differential_max_tasks;
+      DifferentialReport report = cross_check_mappers(analysis, diff);
+      violations.insert(violations.end(),
+                        std::make_move_iterator(report.violations.begin()),
+                        std::make_move_iterator(report.violations.end()));
+    } catch (const Error& e) {
+      pipeline_error("differential", e.what());
+    }
+  }
+  return violations;
+}
+
+FuzzReport run_fuzz(const FuzzOptions& options, std::ostream* log) {
+  FuzzReport report;
+  for (std::size_t i = 0; i < options.cases; ++i) {
+    const FuzzCase scenario =
+        make_case(case_seed_of(options.base_seed, i), options);
+    std::vector<Violation> violations = run_case(scenario, options);
+    ++report.cases_run;
+    ++report.pipelines_simulated;
+    if (scenario.differential) ++report.differential_checks;
+    if (!violations.empty()) {
+      if (log != nullptr) {
+        *log << "FAIL " << scenario.to_string() << ": "
+             << violations.size() << " violation(s); reproduce with "
+             << "cellstream_fuzz --case " << scenario.case_seed << "\n";
+        for (const Violation& v : violations) {
+          *log << "  [" << v.invariant << "] " << v.detail << "\n";
+        }
+      }
+      report.failures.push_back({scenario, std::move(violations)});
+    } else if (log != nullptr && (i + 1) % 25 == 0) {
+      *log << "  " << (i + 1) << "/" << options.cases << " cases clean\n";
+    }
+  }
+  return report;
+}
+
+std::string FuzzReport::summary() const {
+  std::ostringstream os;
+  os << cases_run << " cases (" << pipelines_simulated
+     << " simulated pipelines, " << differential_checks
+     << " differential cross-checks): ";
+  if (ok()) {
+    os << "all invariants held";
+  } else {
+    os << failures.size() << " failing case(s)";
+    for (const FuzzFailure& f : failures) {
+      os << "\n  " << f.scenario.to_string() << " -> "
+         << f.violations.size() << " violation(s), reproduce with "
+         << "cellstream_fuzz --case " << f.scenario.case_seed;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace cellstream::check

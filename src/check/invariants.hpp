@@ -1,0 +1,108 @@
+#pragma once
+// Invariant-checking oracle for simulated runs (the repo's correctness
+// tooling layer; see docs/TESTING.md for the full catalogue).
+//
+// The paper's steady-state theory (Section 3) makes mechanically checkable
+// promises about any valid execution of a mapped streaming application:
+//
+//   I1  throughput bound     rho_observed <= 1/T (+ tolerance), where T is
+//                            the analytic period of the mapping,
+//   I2  completion order     instance completion times strictly increase,
+//   I3  local store          per-SPE stream buffers fit the 256 kB local
+//                            store minus code (constraint 1i),
+//   I4  DMA queue limits     at every trace instant, <= 16 outstanding
+//                            SPE-issued DMAs per SPE and <= 8 outstanding
+//                            PPE-issued DMAs per source SPE (1j/1k),
+//   I5  buffer occupancy     an edge D_{k,l} never holds more than
+//                            buff_{k,l} = data_{k,l} x (firstPeriod(T_l) -
+//                            firstPeriod(T_k)) bytes at either endpoint,
+//   I6  causality            no task instance starts before all the data
+//                            it consumes (including peek look-ahead) has
+//                            been produced and, for remote edges, fetched.
+//
+// I1-I3 need only the SimResult; I4-I6 replay the execution trace
+// (SimOptions::record_trace) against the analysis.  Each checker returns
+// the violations it found — an empty vector is a pass — so tests can
+// exercise them one by one with hand-built traces.
+
+#include <string>
+#include <vector>
+
+#include "core/steady_state.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace cellstream::check {
+
+/// One broken invariant, with enough context to debug the run.
+struct Violation {
+  std::string invariant;  ///< Stable id ("throughput-bound", "dma-queue", ...).
+  std::string detail;     ///< Human-readable description.
+};
+
+struct InvariantOptions {
+  /// Slack on I1: observed steady throughput may exceed 1/T by this
+  /// fraction (discrete completions quantize the window edges).
+  double throughput_tolerance = 0.02;
+  /// Absolute slack in simulated seconds for time comparisons (I6).
+  double time_epsilon = 1e-12;
+};
+
+/// Aggregated result of check_invariants.
+struct InvariantReport {
+  std::vector<Violation> violations;
+  std::size_t checks_run = 0;          ///< Invariant families evaluated.
+  std::size_t trace_events_seen = 0;   ///< Events consumed by I4-I6.
+  bool trace_checked = false;          ///< False when the trace was empty.
+
+  bool ok() const { return violations.empty(); }
+  /// Multi-line summary for logs and fuzz reproducers.
+  std::string to_string() const;
+};
+
+// -- Individual invariants (empty result = pass) ---------------------------
+
+/// I1: result.steady_throughput and overall_throughput must not exceed
+/// (1 + tolerance) x analysis.throughput(mapping).
+std::vector<Violation> check_throughput_bound(
+    const SteadyStateAnalysis& analysis, const Mapping& mapping,
+    const sim::SimResult& result, const InvariantOptions& options = {});
+
+/// I2: completion_times strictly increase and makespan equals the last one.
+std::vector<Violation> check_completion_order(const sim::SimResult& result);
+
+/// I3: per-SPE buffer bytes of the mapping fit the local-store budget.
+std::vector<Violation> check_local_store(const SteadyStateAnalysis& analysis,
+                                         const Mapping& mapping);
+
+/// I4: sweep the transfer events; at no instant may a SPE hold more than
+/// platform.spe_dma_slots outstanding DMAs it issued, nor a source SPE more
+/// than platform.ppe_to_spe_dma_slots outstanding PPE-issued fetches.
+std::vector<Violation> check_dma_queue_limits(
+    const CellPlatform& platform, const std::vector<sim::TraceEvent>& trace);
+
+/// I5: replay produced/fetched/consumed counters per edge; occupancy must
+/// never exceed the steady-state buffer depth at either endpoint.  Also
+/// flags non-sequential instance numbering (a corrupted trace).
+std::vector<Violation> check_buffer_occupancy(
+    const SteadyStateAnalysis& analysis, const Mapping& mapping,
+    const std::vector<sim::TraceEvent>& trace);
+
+/// I6: every compute event must start at or after the availability of all
+/// inputs it consumes: producer completions for local edges, fetch
+/// completions for remote edges (instance i needs inputs up to
+/// min(i + peek, last instance)), and every fetch must start at or after
+/// its producer's completion.
+std::vector<Violation> check_causality(const SteadyStateAnalysis& analysis,
+                                       const Mapping& mapping,
+                                       const std::vector<sim::TraceEvent>& trace,
+                                       const InvariantOptions& options = {});
+
+/// Run every invariant against a simulated run.  Trace-based checks are
+/// skipped (report.trace_checked == false) when result.trace is empty.
+InvariantReport check_invariants(const SteadyStateAnalysis& analysis,
+                                 const Mapping& mapping,
+                                 const sim::SimResult& result,
+                                 const InvariantOptions& options = {});
+
+}  // namespace cellstream::check

@@ -1,10 +1,11 @@
 #pragma once
 // Exhaustive optimal mapper for tiny instances.
 //
-// Enumerates all n^K assignments (with symmetry reduction over identical
-// idle SPEs) and returns the feasible mapping with the smallest
-// steady-state period.  Exponential — intended for cross-validating the
-// MILP mapper in tests and for very small production graphs.
+// Enumerates all assignments (with symmetry reduction over identical idle
+// SPEs of the same chip) and returns the feasible mapping with the
+// smallest steady-state period.  Exponential — intended for
+// cross-validating the MILP mapper in tests and for very small production
+// graphs.
 
 #include <optional>
 
@@ -19,7 +20,7 @@ struct ExhaustiveResult {
 
 /// Search every mapping; returns nullopt only if no feasible mapping
 /// exists (impossible on platforms with a PPE).  Throws if the search
-/// space n^K exceeds `max_states`.
+/// space (after symmetry reduction) exceeds `max_states`.
 std::optional<ExhaustiveResult> exhaustive_optimal_mapping(
     const SteadyStateAnalysis& analysis, std::size_t max_states = 50'000'000);
 

@@ -233,7 +233,11 @@ void Simulator::step(PeId pe) {
       PeState& s = pes_[pe];
       s.busy = false;
       s.overhead_seconds += opt_.dma_issue_overhead;
-      issue(pe, ch);
+      // Re-validate before enqueueing: between the decision and the end of
+      // the issue overhead another PE may have consumed the last shared
+      // queue slot (two PPEs racing for one SPE's 8-deep proxy stack).
+      // The core still paid the interruption; it simply retries.
+      if (channel_issuable(pe, ch)) issue(pe, ch);
       step(pe);
     });
     return;
@@ -249,9 +253,16 @@ void Simulator::step(PeId pe) {
       s.overhead_seconds += opt_.dispatch_overhead;
       s.busy_seconds += tasks_[t].work;
       if (opt_.record_trace) {
-        trace_.push_back({TraceEvent::Kind::kCompute, graph_.task(t).name,
-                          pe, engine_.now() - tasks_[t].work, engine_.now(),
-                          tasks_[t].next_instance});
+        TraceEvent ev;
+        ev.kind = TraceEvent::Kind::kCompute;
+        ev.name = graph_.task(t).name;
+        ev.pe = pe;
+        ev.src_pe = pe;
+        ev.start = engine_.now() - tasks_[t].work;
+        ev.end = engine_.now();
+        ev.instance = tasks_[t].next_instance;
+        ev.task = static_cast<std::int64_t>(t);
+        trace_.push_back(std::move(ev));
       }
       complete_instance(t);
       step(pe);
@@ -334,10 +345,17 @@ void Simulator::issue(PeId pe, const Channel& channel) {
         if (proxy) --pes_[edge.src].proxy_outstanding;
         if (opt_.record_trace) {
           const Edge& ge = graph_.edge(eid);
-          trace_.push_back({TraceEvent::Kind::kTransfer,
-                            graph_.task(ge.from).name + "->" +
-                                graph_.task(ge.to).name,
-                            pe, t0, engine_.now(), inst});
+          TraceEvent ev;
+          ev.kind = TraceEvent::Kind::kTransfer;
+          ev.payload = TraceEvent::Payload::kEdge;
+          ev.name = graph_.task(ge.from).name + "->" + graph_.task(ge.to).name;
+          ev.pe = pe;
+          ev.src_pe = edge.src;
+          ev.start = t0;
+          ev.end = engine_.now();
+          ev.instance = inst;
+          ev.edge = static_cast<std::int64_t>(eid);
+          trace_.push_back(std::move(ev));
         }
         wake(edge.src);  // output buffer slot freed
         wake(pe);        // input data available
@@ -357,9 +375,17 @@ void Simulator::issue(PeId pe, const Channel& channel) {
         ++task.mem_fetched;
         if (platform_.is_spe(pe)) --pes_[pe].gets_outstanding;
         if (opt_.record_trace) {
-          trace_.push_back({TraceEvent::Kind::kTransfer,
-                            "read:" + graph_.task(tid).name, pe, t0,
-                            engine_.now(), task.mem_fetched - 1});
+          TraceEvent ev;
+          ev.kind = TraceEvent::Kind::kTransfer;
+          ev.payload = TraceEvent::Payload::kMemRead;
+          ev.name = "read:" + graph_.task(tid).name;
+          ev.pe = pe;
+          ev.src_pe = pe;
+          ev.start = t0;
+          ev.end = engine_.now();
+          ev.instance = task.mem_fetched - 1;
+          ev.task = static_cast<std::int64_t>(tid);
+          trace_.push_back(std::move(ev));
         }
         wake(pe);
       });
@@ -377,9 +403,17 @@ void Simulator::issue(PeId pe, const Channel& channel) {
         ++task.writes_done;
         if (platform_.is_spe(pe)) --pes_[pe].gets_outstanding;
         if (opt_.record_trace) {
-          trace_.push_back({TraceEvent::Kind::kTransfer,
-                            "write:" + graph_.task(tid).name, pe, t0,
-                            engine_.now(), task.writes_done - 1});
+          TraceEvent ev;
+          ev.kind = TraceEvent::Kind::kTransfer;
+          ev.payload = TraceEvent::Payload::kMemWrite;
+          ev.name = "write:" + graph_.task(tid).name;
+          ev.pe = pe;
+          ev.src_pe = pe;
+          ev.start = t0;
+          ev.end = engine_.now();
+          ev.instance = task.writes_done - 1;
+          ev.task = static_cast<std::int64_t>(tid);
+          trace_.push_back(std::move(ev));
         }
         wake(pe);
       });

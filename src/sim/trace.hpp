@@ -22,12 +22,29 @@ struct TraceEvent {
     kCompute,   ///< A task instance executing on a PE.
     kTransfer,  ///< A DMA transfer (edge fetch / memory read / write).
   };
+  /// What a kTransfer event moves (kNone for kCompute events).
+  enum class Payload : std::uint8_t {
+    kNone,      ///< Not a transfer.
+    kEdge,      ///< Remote-edge fetch (receiver reads the producer's buffer).
+    kMemRead,   ///< Main-memory stream read of a task.
+    kMemWrite,  ///< Main-memory stream write of a task.
+  };
   Kind kind = Kind::kCompute;
+  Payload payload = Payload::kNone;
   std::string name;       ///< Task name or transfer label.
-  PeId pe = 0;            ///< Executing PE (kCompute) or receiver (kTransfer).
+  /// Executing PE (kCompute), or the PE whose communication phase issued
+  /// the DMA (kTransfer) — the receiver for kEdge/kMemRead, the writer for
+  /// kMemWrite.  The [start, end] window of a transfer is exactly the time
+  /// the command occupies a DMA queue slot of its issuer (SPE MFC stack)
+  /// or, for PPE-issued edge fetches, of the source SPE's proxy stack.
+  PeId pe = 0;
+  PeId src_pe = 0;        ///< Producer-side PE of a kEdge transfer; == pe
+                          ///< for every other event kind.
   double start = 0.0;     ///< Simulated seconds.
   double end = 0.0;
   std::int64_t instance = -1;  ///< Stream instance, when known.
+  std::int64_t edge = -1;      ///< EdgeId for Payload::kEdge.
+  std::int64_t task = -1;      ///< TaskId for kCompute / kMemRead / kMemWrite.
 };
 
 /// Serialize events to the Trace Event Format (JSON array).  `platform`

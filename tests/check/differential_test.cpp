@@ -1,0 +1,184 @@
+// Tests of the differential oracle (src/check/differential.hpp): each rule
+// D1-D4 must reject a fabricated inconsistent outcome set, and the real
+// cross-check over exhaustive / MILP / greedy mappers must be consistent
+// on small graphs.
+
+#include <gtest/gtest.h>
+
+#include "check/differential.hpp"
+#include "gen/daggen.hpp"
+#include "mapping/exhaustive.hpp"
+
+namespace cellstream::check {
+namespace {
+
+/// Three-task chain on a 1 PPE + 2 SPE platform: small enough that every
+/// expected quantity is easy to reason about by hand.
+class DifferentialRules : public ::testing::Test {
+ protected:
+  DifferentialRules() {
+    TaskGraph graph("rules");
+    graph.add_task({"A", 2e-3, 1e-3, 0, 0.0, 0.0, false});
+    graph.add_task({"B", 2e-3, 1e-3, 0, 0.0, 0.0, false});
+    graph.add_task({"C", 2e-3, 1e-3, 0, 0.0, 0.0, false});
+    graph.add_edge(0, 1, 1024.0);
+    graph.add_edge(1, 2, 1024.0);
+    analysis_.emplace(graph, platforms::qs22_with_spes(2));
+  }
+
+  MapperOutcome outcome(const std::string& name, std::vector<PeId> pes) {
+    MapperOutcome o;
+    o.name = name;
+    o.mapping = Mapping(std::move(pes));
+    o.period = analysis_->period(o.mapping);
+    return o;
+  }
+
+  std::optional<SteadyStateAnalysis> analysis_;
+};
+
+TEST_F(DifferentialRules, ConsistentOutcomesPass) {
+  std::vector<MapperOutcome> outcomes;
+  outcomes.push_back(outcome("spread", {1, 2, 0}));
+  outcomes.push_back(outcome("ppe-only", {0, 0, 0}));
+  EXPECT_TRUE(check_outcomes(*analysis_, outcomes).empty());
+}
+
+TEST_F(DifferentialRules, D1FlagsAMisreportedPeriod) {
+  std::vector<MapperOutcome> outcomes;
+  outcomes.push_back(outcome("liar", {1, 2, 0}));
+  outcomes.back().period *= 0.5;  // claims twice the real throughput
+  const auto violations = check_outcomes(*analysis_, outcomes);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].detail.find("recomputes"), std::string::npos);
+}
+
+TEST_F(DifferentialRules, D1FlagsAnInfeasibleMappingThatClaimsFeasibility) {
+  // 100 kB edges: buff = 2 x 100 kB per endpoint, two edges on one SPE
+  // blow through the 192 kB budget.
+  TaskGraph graph("fat");
+  graph.add_task({"A", 2e-3, 1e-3, 0, 0.0, 0.0, false});
+  graph.add_task({"B", 2e-3, 1e-3, 0, 0.0, 0.0, false});
+  graph.add_task({"C", 2e-3, 1e-3, 0, 0.0, 0.0, false});
+  graph.add_edge(0, 1, 100.0 * 1024.0);
+  graph.add_edge(1, 2, 100.0 * 1024.0);
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_with_spes(2));
+  MapperOutcome o;
+  o.name = "overcommit";
+  o.mapping = Mapping(std::vector<PeId>{1, 1, 1});
+  o.period = analysis.period(o.mapping);
+  ASSERT_FALSE(analysis.feasible(o.mapping));
+
+  EXPECT_FALSE(check_outcomes(analysis, {o}).empty());
+  o.claims_feasible = false;  // a greedy outcome: no false alarm
+  EXPECT_TRUE(check_outcomes(analysis, {o}).empty());
+}
+
+TEST_F(DifferentialRules, D2FlagsIdenticalMappingsWithDifferentPeriods) {
+  std::vector<MapperOutcome> outcomes;
+  outcomes.push_back(outcome("first", {1, 2, 0}));
+  outcomes.push_back(outcome("second", {1, 2, 0}));
+  outcomes.back().period *= 1.5;
+  DifferentialOptions options;
+  options.relative_tolerance = 1.0;  // disarm D1; D2 compares exactly
+  const auto violations = check_outcomes(*analysis_, outcomes, options);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].detail.find("identical mapping"), std::string::npos);
+}
+
+TEST_F(DifferentialRules, D3FlagsAnOptimumBeatenByAFeasibleCompetitor) {
+  std::vector<MapperOutcome> outcomes;
+  outcomes.push_back(outcome("fake-optimal", {0, 0, 0}));  // period 6 ms
+  outcomes.back().optimal = true;                          // gap 0
+  outcomes.push_back(outcome("better", {1, 2, 0}));        // period 2 ms
+  const auto violations = check_outcomes(*analysis_, outcomes);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].detail.find("beats it"), std::string::npos);
+}
+
+TEST_F(DifferentialRules, D3IgnoresInfeasibleCompetitors) {
+  // The competitor is faster on paper but overflows a local store, so the
+  // optimum needn't dominate it.
+  TaskGraph graph("fat");
+  graph.add_task({"A", 2e-3, 1e-3, 0, 0.0, 0.0, false});
+  graph.add_task({"B", 2e-3, 1e-3, 0, 0.0, 0.0, false});
+  graph.add_task({"C", 2e-3, 1e-3, 0, 0.0, 0.0, false});
+  graph.add_edge(0, 1, 100.0 * 1024.0);
+  graph.add_edge(1, 2, 100.0 * 1024.0);
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_with_spes(2));
+
+  MapperOutcome optimal;
+  optimal.name = "optimal";
+  optimal.mapping = Mapping(std::vector<PeId>{0, 0, 0});
+  optimal.period = analysis.period(optimal.mapping);
+  optimal.optimal = true;
+
+  MapperOutcome squeezed;
+  squeezed.name = "squeezed";
+  squeezed.mapping = Mapping(std::vector<PeId>{1, 1, 1});
+  squeezed.period = analysis.period(squeezed.mapping);
+  squeezed.claims_feasible = false;
+  ASSERT_FALSE(analysis.feasible(squeezed.mapping));
+  ASSERT_LT(squeezed.period, optimal.period);
+
+  EXPECT_TRUE(check_outcomes(analysis, {optimal, squeezed}).empty());
+}
+
+TEST_F(DifferentialRules, D4FlagsALowerBoundAboveTheProvenOptimum) {
+  std::vector<MapperOutcome> outcomes;
+  outcomes.push_back(outcome("exhaustive", {1, 2, 0}));
+  outcomes.back().optimal = true;
+  outcomes.push_back(outcome("milp", {1, 2, 0}));
+  outcomes.back().has_lower_bound = true;
+  outcomes.back().lower_bound = outcomes.front().period * 2.0;
+  const auto violations = check_outcomes(*analysis_, outcomes);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].detail.find("lower bound"), std::string::npos);
+}
+
+// -- The real cross-check --------------------------------------------------
+
+TEST(CrossCheckMappers, AgreesOnASmallRandomGraph) {
+  gen::DagGenParams params;
+  params.task_count = 6;
+  params.seed = 11;
+  TaskGraph graph = gen::daggen_random(params);
+  gen::set_ccr(graph, 1.5);
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_with_spes(4));
+  DifferentialOptions options;
+  options.milp_time_limit = 5.0;
+  const DifferentialReport report = cross_check_mappers(analysis, options);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  ASSERT_EQ(report.outcomes.size(), 4u);
+  EXPECT_EQ(report.outcomes[0].name, "exhaustive");
+  EXPECT_TRUE(report.outcomes[0].optimal);
+}
+
+TEST(CrossCheckMappers, ExhaustiveFindsTheChipAwareOptimumOnDualCell) {
+  // On the dual-Cell QS22 the SPEs of the two chips are *not*
+  // interchangeable — regression for the symmetry reduction that once made
+  // the exhaustive search chip-blind (and rejected 18-PE platforms
+  // outright through an unreduced state-count estimate).
+  gen::DagGenParams params;
+  params.task_count = 6;
+  params.seed = 3;
+  TaskGraph graph = gen::daggen_random(params);
+  gen::set_ccr(graph, 2.3);
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_dual_cell());
+  DifferentialOptions options;
+  options.milp_time_limit = 5.0;
+  const DifferentialReport report = cross_check_mappers(analysis, options);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(CrossCheckMappers, RefusesGraphsBeyondTheExhaustiveLimit) {
+  gen::DagGenParams params;
+  params.task_count = 12;
+  params.seed = 1;
+  const TaskGraph graph = gen::daggen_random(params);
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_single_cell());
+  EXPECT_THROW(cross_check_mappers(analysis), Error);
+}
+
+}  // namespace
+}  // namespace cellstream::check

@@ -1,0 +1,63 @@
+// Bounded in-process run of the differential fuzzer (label: fuzz-smoke).
+// The full CI sweep is the cellstream_fuzz --smoke executable registered
+// in tests/CMakeLists.txt; this binary keeps a smaller deterministic slice
+// under gtest so failures carry the usual test diagnostics.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "check/fuzz_driver.hpp"
+
+namespace cellstream::check {
+namespace {
+
+TEST(FuzzSmoke, CaseDerivationIsDeterministic) {
+  const FuzzOptions options;
+  const FuzzCase a = make_case(123456789, options);
+  const FuzzCase b = make_case(123456789, options);
+  EXPECT_EQ(a.case_seed, b.case_seed);
+  EXPECT_EQ(a.task_count, b.task_count);
+  EXPECT_EQ(a.ccr, b.ccr);
+  EXPECT_EQ(a.strategy, b.strategy);
+  EXPECT_EQ(a.platform, b.platform);
+  EXPECT_EQ(a.differential, b.differential);
+}
+
+TEST(FuzzSmoke, CaseSeedsOfAStreamAreDistinct) {
+  std::set<std::uint64_t> seen;
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_TRUE(seen.insert(case_seed_of(2026, i)).second) << "index " << i;
+  }
+}
+
+TEST(FuzzSmoke, BoundedFuzzRunHoldsAllInvariants) {
+  FuzzOptions options;
+  options.base_seed = 42;
+  options.cases = 40;
+  options.instances = 120;
+  options.milp_time_limit = 2.0;
+  std::ostringstream log;
+  const FuzzReport report = run_fuzz(options, &log);
+  EXPECT_TRUE(report.ok()) << report.summary() << "\n" << log.str();
+  EXPECT_EQ(report.cases_run, 40u);
+  EXPECT_EQ(report.pipelines_simulated, 40u);
+}
+
+TEST(FuzzSmoke, SingleCaseReproductionMatchesTheStream) {
+  FuzzOptions options;
+  options.base_seed = 42;
+  options.instances = 120;
+  const std::uint64_t seed = case_seed_of(options.base_seed, 5);
+  const FuzzCase scenario = make_case(seed, options);
+  const std::vector<Violation> first = run_case(scenario, options);
+  const std::vector<Violation> second = run_case(scenario, options);
+  EXPECT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < std::min(first.size(), second.size()); ++i) {
+    EXPECT_EQ(first[i].detail, second[i].detail);
+  }
+}
+
+}  // namespace
+}  // namespace cellstream::check

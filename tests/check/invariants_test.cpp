@@ -1,0 +1,362 @@
+// Tests of the invariant-checking oracle (src/check/invariants.hpp).
+//
+// Every invariant is exercised twice: against a hand-built trace seeded
+// with exactly one violation (the checker must flag it — no vacuous
+// passes), and against a clean run of a real simulated pipeline (the
+// checker must stay silent).
+
+#include <gtest/gtest.h>
+
+#include "check/invariants.hpp"
+#include "gen/daggen.hpp"
+#include "mapping/heuristics.hpp"
+#include "sim/simulator.hpp"
+
+namespace cellstream::check {
+namespace {
+
+using sim::TraceEvent;
+
+TraceEvent compute_event(TaskId task, PeId pe, std::int64_t instance,
+                         double start, double end) {
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kCompute;
+  e.name = "T" + std::to_string(task);
+  e.pe = pe;
+  e.src_pe = pe;
+  e.start = start;
+  e.end = end;
+  e.instance = instance;
+  e.task = static_cast<std::int64_t>(task);
+  return e;
+}
+
+TraceEvent edge_event(EdgeId edge, PeId issuer, PeId src_pe,
+                      std::int64_t instance, double start, double end) {
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kTransfer;
+  e.payload = TraceEvent::Payload::kEdge;
+  e.name = "fetch";
+  e.pe = issuer;
+  e.src_pe = src_pe;
+  e.start = start;
+  e.end = end;
+  e.instance = instance;
+  e.edge = static_cast<std::int64_t>(edge);
+  return e;
+}
+
+TraceEvent mem_read_event(PeId pe, double start, double end) {
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kTransfer;
+  e.payload = TraceEvent::Payload::kMemRead;
+  e.name = "read";
+  e.pe = pe;
+  e.src_pe = pe;
+  e.start = start;
+  e.end = end;
+  return e;
+}
+
+bool has_invariant(const std::vector<Violation>& violations,
+                   const std::string& id) {
+  for (const Violation& v : violations) {
+    if (v.invariant == id) return true;
+  }
+  return false;
+}
+
+/// Two-task chain A -> B used by the trace-replay tests.  buffer_depth of
+/// the edge is firstPeriod(B) - firstPeriod(A) = 2 instances.
+TaskGraph chain_graph(double data_bytes = 1024.0) {
+  TaskGraph graph("chain");
+  graph.add_task({"A", 1e-3, 1e-3, 0, 0.0, 0.0, false});
+  graph.add_task({"B", 1e-3, 1e-3, 0, 0.0, 0.0, false});
+  graph.add_edge(0, 1, data_bytes);
+  return graph;
+}
+
+// -- I1: throughput bound --------------------------------------------------
+
+TEST(ThroughputBound, FlagsThroughputAboveTheAnalyticBound) {
+  const SteadyStateAnalysis analysis(chain_graph(),
+                                     platforms::qs22_single_cell());
+  const Mapping mapping(std::vector<PeId>{0, 0});
+  sim::SimResult result;
+  result.steady_throughput = 2.0 * analysis.throughput(mapping);
+  result.overall_throughput = 0.5 * analysis.throughput(mapping);
+  const auto violations = check_throughput_bound(analysis, mapping, result);
+  EXPECT_TRUE(has_invariant(violations, "throughput-bound"));
+}
+
+TEST(ThroughputBound, AcceptsThroughputWithinTolerance) {
+  const SteadyStateAnalysis analysis(chain_graph(),
+                                     platforms::qs22_single_cell());
+  const Mapping mapping(std::vector<PeId>{0, 0});
+  sim::SimResult result;
+  result.steady_throughput = 1.01 * analysis.throughput(mapping);
+  result.overall_throughput = analysis.throughput(mapping);
+  EXPECT_TRUE(check_throughput_bound(analysis, mapping, result).empty());
+}
+
+// -- I2: completion order --------------------------------------------------
+
+TEST(CompletionOrder, FlagsNonIncreasingCompletions) {
+  sim::SimResult result;
+  result.completion_times = {1.0, 2.0, 1.5, 3.0};
+  result.makespan = 3.0;
+  EXPECT_TRUE(has_invariant(check_completion_order(result),
+                            "completion-order"));
+}
+
+TEST(CompletionOrder, FlagsMakespanMismatch) {
+  sim::SimResult result;
+  result.completion_times = {1.0, 2.0};
+  result.makespan = 5.0;
+  EXPECT_TRUE(has_invariant(check_completion_order(result),
+                            "completion-order"));
+}
+
+TEST(CompletionOrder, AcceptsStrictlyIncreasingCompletions) {
+  sim::SimResult result;
+  result.completion_times = {1.0, 2.0, 3.0};
+  result.makespan = 3.0;
+  EXPECT_TRUE(check_completion_order(result).empty());
+}
+
+// -- I3: local store -------------------------------------------------------
+
+TEST(LocalStore, FlagsBuffersOverTheBudget) {
+  // buff = 2 x 100 kB per endpoint; both endpoints on one SPE charge the
+  // store twice (paper Section 4.2) = 400 kB >> 192 kB budget.
+  const SteadyStateAnalysis analysis(chain_graph(100.0 * 1024.0),
+                                     platforms::qs22_single_cell());
+  const Mapping on_spe(std::vector<PeId>{1, 1});
+  EXPECT_TRUE(has_invariant(check_local_store(analysis, on_spe),
+                            "local-store"));
+}
+
+TEST(LocalStore, AcceptsPpeMappingsAndFittingBuffers) {
+  const SteadyStateAnalysis big(chain_graph(100.0 * 1024.0),
+                                platforms::qs22_single_cell());
+  EXPECT_TRUE(check_local_store(big, Mapping(std::vector<PeId>{0, 0})).empty());
+  const SteadyStateAnalysis small(chain_graph(1024.0),
+                                  platforms::qs22_single_cell());
+  EXPECT_TRUE(
+      check_local_store(small, Mapping(std::vector<PeId>{1, 1})).empty());
+}
+
+// -- I4: DMA queue limits --------------------------------------------------
+
+TEST(DmaQueueLimits, FlagsSeventeenConcurrentSpeIssuedDmas) {
+  const CellPlatform platform = platforms::qs22_single_cell();
+  std::vector<TraceEvent> trace;
+  for (int i = 0; i < 17; ++i) {
+    trace.push_back(mem_read_event(/*pe=*/1, 0.0, 1.0));
+  }
+  EXPECT_TRUE(has_invariant(check_dma_queue_limits(platform, trace),
+                            "dma-queue"));
+}
+
+TEST(DmaQueueLimits, AcceptsExactlySixteenConcurrentSpeIssuedDmas) {
+  const CellPlatform platform = platforms::qs22_single_cell();
+  std::vector<TraceEvent> trace;
+  for (int i = 0; i < 16; ++i) {
+    trace.push_back(mem_read_event(/*pe=*/1, 0.0, 1.0));
+  }
+  EXPECT_TRUE(check_dma_queue_limits(platform, trace).empty());
+}
+
+TEST(DmaQueueLimits, FlagsNineConcurrentPpeIssuedFetchesFromOneSpe) {
+  const CellPlatform platform = platforms::qs22_single_cell();
+  std::vector<TraceEvent> trace;
+  for (std::int64_t i = 0; i < 9; ++i) {
+    trace.push_back(edge_event(0, /*issuer=*/0, /*src_pe=*/1, i, 0.0, 1.0));
+  }
+  EXPECT_TRUE(has_invariant(check_dma_queue_limits(platform, trace),
+                            "dma-queue"));
+}
+
+TEST(DmaQueueLimits, ASlotFreedAtTmayBeReusedAtT) {
+  // 16 transfers end exactly when a 17th starts: completions are applied
+  // first at equal timestamps, so the peak stays at the hardware limit.
+  const CellPlatform platform = platforms::qs22_single_cell();
+  std::vector<TraceEvent> trace;
+  for (int i = 0; i < 16; ++i) {
+    trace.push_back(mem_read_event(/*pe=*/1, 0.0, 1.0));
+  }
+  trace.push_back(mem_read_event(/*pe=*/1, 1.0, 2.0));
+  EXPECT_TRUE(check_dma_queue_limits(platform, trace).empty());
+}
+
+// -- I5: buffer occupancy --------------------------------------------------
+
+TEST(BufferOccupancy, FlagsProducerSideOverflow) {
+  // depth = 2: the producer running three instances ahead of the consumer
+  // overfills D_{A,B}'s buffer.
+  const SteadyStateAnalysis analysis(chain_graph(),
+                                     platforms::qs22_single_cell());
+  const Mapping mapping(std::vector<PeId>{1, 2});  // remote edge
+  ASSERT_EQ(analysis.buffer_depth(0), 2);
+  std::vector<TraceEvent> trace;
+  for (std::int64_t i = 0; i < 3; ++i) {
+    const double t = static_cast<double>(i);
+    trace.push_back(compute_event(0, 1, i, t, t + 0.5));
+  }
+  EXPECT_TRUE(has_invariant(check_buffer_occupancy(analysis, mapping, trace),
+                            "buffer-occupancy"));
+}
+
+TEST(BufferOccupancy, FlagsFetchWithoutProduction) {
+  const SteadyStateAnalysis analysis(chain_graph(),
+                                     platforms::qs22_single_cell());
+  const Mapping mapping(std::vector<PeId>{1, 2});
+  std::vector<TraceEvent> trace;
+  trace.push_back(edge_event(0, 2, 1, 0, 0.0, 0.5));  // fetched > produced
+  EXPECT_TRUE(has_invariant(check_buffer_occupancy(analysis, mapping, trace),
+                            "buffer-occupancy"));
+}
+
+TEST(BufferOccupancy, AcceptsAProducerConsumerPipelineWithinDepth) {
+  const SteadyStateAnalysis analysis(chain_graph(),
+                                     platforms::qs22_single_cell());
+  const Mapping mapping(std::vector<PeId>{1, 2});
+  std::vector<TraceEvent> trace;
+  for (std::int64_t i = 0; i < 5; ++i) {
+    const double t = static_cast<double>(i);
+    trace.push_back(compute_event(0, 1, i, t, t + 0.2));
+    trace.push_back(edge_event(0, 2, 1, i, t + 0.3, t + 0.4));
+    trace.push_back(compute_event(1, 2, i, t + 0.5, t + 0.7));
+  }
+  EXPECT_TRUE(check_buffer_occupancy(analysis, mapping, trace).empty());
+}
+
+TEST(BufferOccupancy, FlagsNonSequentialInstanceNumbering) {
+  const SteadyStateAnalysis analysis(chain_graph(),
+                                     platforms::qs22_single_cell());
+  const Mapping mapping(std::vector<PeId>{1, 2});
+  std::vector<TraceEvent> trace;
+  trace.push_back(compute_event(0, 1, 0, 0.0, 0.2));
+  trace.push_back(compute_event(0, 1, 2, 1.0, 1.2));  // skips instance 1
+  EXPECT_TRUE(has_invariant(check_buffer_occupancy(analysis, mapping, trace),
+                            "trace-consistency"));
+}
+
+// -- I6: causality ---------------------------------------------------------
+
+TEST(Causality, FlagsFetchStartingBeforeProduction) {
+  const SteadyStateAnalysis analysis(chain_graph(),
+                                     platforms::qs22_single_cell());
+  const Mapping mapping(std::vector<PeId>{1, 2});
+  std::vector<TraceEvent> trace;
+  trace.push_back(compute_event(0, 1, 0, 0.0, 2.0));
+  trace.push_back(edge_event(0, 2, 1, 0, 1.0, 3.0));  // starts mid-produce
+  EXPECT_TRUE(has_invariant(check_causality(analysis, mapping, trace),
+                            "causality"));
+}
+
+TEST(Causality, FlagsComputeStartingBeforeItsRemoteInputArrives) {
+  const SteadyStateAnalysis analysis(chain_graph(),
+                                     platforms::qs22_single_cell());
+  const Mapping mapping(std::vector<PeId>{1, 2});
+  std::vector<TraceEvent> trace;
+  trace.push_back(compute_event(0, 1, 0, 0.0, 1.0));
+  trace.push_back(edge_event(0, 2, 1, 0, 1.0, 2.0));
+  trace.push_back(compute_event(1, 2, 0, 1.5, 2.5));  // before fetch ends
+  EXPECT_TRUE(has_invariant(check_causality(analysis, mapping, trace),
+                            "causality"));
+}
+
+TEST(Causality, FlagsComputeStartingBeforeItsLocalInputIsProduced) {
+  const SteadyStateAnalysis analysis(chain_graph(),
+                                     platforms::qs22_single_cell());
+  const Mapping mapping(std::vector<PeId>{1, 1});  // co-located: no fetch
+  std::vector<TraceEvent> trace;
+  trace.push_back(compute_event(0, 1, 0, 0.0, 1.0));
+  trace.push_back(compute_event(1, 1, 0, 0.5, 1.5));  // before A finishes
+  const auto violations = check_causality(analysis, mapping, trace);
+  EXPECT_TRUE(has_invariant(violations, "causality"));
+}
+
+TEST(Causality, FlagsPeekConsumersRunningAheadOfTheLookahead) {
+  // B peeks one instance ahead: instance 0 of B needs instances 0 and 1 of
+  // A delivered first.
+  TaskGraph graph("peek");
+  graph.add_task({"A", 1e-3, 1e-3, 0, 0.0, 0.0, false});
+  graph.add_task({"B", 1e-3, 1e-3, 1, 0.0, 0.0, false});
+  graph.add_edge(0, 1, 1024.0);
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_single_cell());
+  const Mapping mapping(std::vector<PeId>{1, 1});
+  std::vector<TraceEvent> trace;
+  trace.push_back(compute_event(0, 1, 0, 0.0, 1.0));
+  trace.push_back(compute_event(0, 1, 1, 3.0, 4.0));
+  trace.push_back(compute_event(1, 1, 0, 1.5, 2.0));  // A#1 ends at 4.0
+  EXPECT_TRUE(has_invariant(check_causality(analysis, mapping, trace),
+                            "causality"));
+}
+
+TEST(Causality, FlagsOverlappingComputeWindowsOnOnePe) {
+  TaskGraph graph("parallel");
+  graph.add_task({"A", 1e-3, 1e-3, 0, 0.0, 0.0, false});
+  graph.add_task({"B", 1e-3, 1e-3, 0, 0.0, 0.0, false});
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_single_cell());
+  const Mapping mapping(std::vector<PeId>{1, 1});
+  std::vector<TraceEvent> trace;
+  trace.push_back(compute_event(0, 1, 0, 0.0, 1.0));
+  trace.push_back(compute_event(1, 1, 0, 0.5, 1.5));  // double-booked SPE0
+  EXPECT_TRUE(has_invariant(check_causality(analysis, mapping, trace),
+                            "causality"));
+}
+
+TEST(Causality, AcceptsAWellOrderedPipeline) {
+  const SteadyStateAnalysis analysis(chain_graph(),
+                                     platforms::qs22_single_cell());
+  const Mapping mapping(std::vector<PeId>{1, 2});
+  std::vector<TraceEvent> trace;
+  for (std::int64_t i = 0; i < 4; ++i) {
+    const double t = static_cast<double>(i);
+    trace.push_back(compute_event(0, 1, i, t, t + 0.2));
+    trace.push_back(edge_event(0, 2, 1, i, t + 0.2, t + 0.4));
+    trace.push_back(compute_event(1, 2, i, t + 0.4, t + 0.6));
+  }
+  EXPECT_TRUE(check_causality(analysis, mapping, trace).empty());
+}
+
+// -- The aggregate checker on a real simulated run -------------------------
+
+TEST(CheckInvariants, CleanPipelineRunPassesEveryInvariant) {
+  gen::DagGenParams params;
+  params.task_count = 12;
+  params.seed = 7;
+  TaskGraph graph = gen::daggen_random(params);
+  gen::set_ccr(graph, 1.5);
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_single_cell());
+  Mapping mapping = mapping::greedy_cpu(analysis);
+  if (!analysis.feasible(mapping)) mapping = mapping::ppe_only(analysis);
+  sim::SimOptions options;
+  options.instances = 200;
+  options.record_trace = true;
+  const sim::SimResult result = sim::simulate(analysis, mapping, options);
+
+  const InvariantReport report = check_invariants(analysis, mapping, result);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_TRUE(report.trace_checked);
+  EXPECT_EQ(report.checks_run, 6u);
+  EXPECT_GT(report.trace_events_seen, 0u);
+}
+
+TEST(CheckInvariants, TraceChecksAreSkippedWithoutATrace) {
+  const TaskGraph graph = chain_graph();
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_single_cell());
+  const Mapping mapping(std::vector<PeId>{0, 0});
+  sim::SimOptions options;
+  options.instances = 50;
+  const sim::SimResult result = sim::simulate(analysis, mapping, options);
+  const InvariantReport report = check_invariants(analysis, mapping, result);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_FALSE(report.trace_checked);
+  EXPECT_EQ(report.checks_run, 3u);
+}
+
+}  // namespace
+}  // namespace cellstream::check

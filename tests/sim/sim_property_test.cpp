@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "gen/daggen.hpp"
 #include "mapping/heuristics.hpp"
 #include "sim/simulator.hpp"
@@ -29,16 +31,17 @@ class SimProperties : public ::testing::TestWithParam<Scenario> {
     if (!analysis_->feasible(mapping_)) {
       mapping_ = mapping::ppe_only(*analysis_);
     }
-    SimOptions options;
-    options.instances = 600;
-    options.dispatch_overhead = 1e-9;  // isolate the resource model
-    options.dma_issue_overhead = 1e-9;
-    result_ = simulate(*analysis_, mapping_, options);
+    options_.instances = 600;
+    options_.dispatch_overhead = 1e-9;  // isolate the resource model
+    options_.dma_issue_overhead = 1e-9;
+    options_.record_trace = true;
+    result_ = simulate(*analysis_, mapping_, options_);
   }
 
   TaskGraph graph_;
   std::optional<SteadyStateAnalysis> analysis_;
   Mapping mapping_;
+  SimOptions options_;
   SimResult result_;
 };
 
@@ -92,6 +95,59 @@ TEST_P(SimProperties, BusyTimeMatchesWorkDone) {
 TEST_P(SimProperties, MakespanIsLastCompletion) {
   EXPECT_DOUBLE_EQ(result_.makespan, result_.completion_times.back());
   EXPECT_GT(result_.overall_throughput, 0.0);
+}
+
+TEST_P(SimProperties, ReplayIsBitIdentical) {
+  // The simulator must be deterministic: the same seed-derived graph,
+  // mapping and options reproduce every completion time exactly (not just
+  // within tolerance) — the contract the fuzz reproducer relies on.
+  const SimResult replay = simulate(*analysis_, mapping_, options_);
+  ASSERT_EQ(replay.completion_times.size(), result_.completion_times.size());
+  for (std::size_t i = 0; i < replay.completion_times.size(); ++i) {
+    ASSERT_EQ(replay.completion_times[i], result_.completion_times[i])
+        << "instance " << i << " diverged on replay";
+  }
+  EXPECT_EQ(replay.makespan, result_.makespan);
+  EXPECT_EQ(replay.dma_transfers, result_.dma_transfers);
+  ASSERT_EQ(replay.trace.size(), result_.trace.size());
+}
+
+TEST_P(SimProperties, TraceDmaQueueDepthsRespectTheHardwareLimits) {
+  // Independent sweep over the recorded transfers (deliberately not the
+  // src/check implementation): at no instant may a SPE exceed its 16-deep
+  // MFC stack, nor a source SPE its 8-deep PPE proxy stack.  Completions
+  // free a slot before same-instant issues claim one.
+  const CellPlatform& p = analysis_->platform();
+  struct Delta {
+    double time;
+    int change;
+  };
+  std::vector<std::vector<Delta>> mfc(p.pe_count()), proxy(p.pe_count());
+  for (const TraceEvent& e : result_.trace) {
+    if (e.kind != TraceEvent::Kind::kTransfer) continue;
+    if (p.is_spe(e.pe)) {
+      mfc[e.pe].push_back({e.start, +1});
+      mfc[e.pe].push_back({e.end, -1});
+    } else if (e.payload == TraceEvent::Payload::kEdge && p.is_spe(e.src_pe)) {
+      proxy[e.src_pe].push_back({e.start, +1});
+      proxy[e.src_pe].push_back({e.end, -1});
+    }
+  }
+  const auto max_depth = [](std::vector<Delta>& deltas) {
+    std::sort(deltas.begin(), deltas.end(), [](const Delta& a, const Delta& b) {
+      return a.time != b.time ? a.time < b.time : a.change < b.change;
+    });
+    int depth = 0, peak = 0;
+    for (const Delta& d : deltas) peak = std::max(peak, depth += d.change);
+    return peak;
+  };
+  for (PeId pe = 0; pe < p.pe_count(); ++pe) {
+    if (!p.is_spe(pe)) continue;
+    EXPECT_LE(max_depth(mfc[pe]), static_cast<int>(p.spe_dma_slots))
+        << p.pe_name(pe) << " MFC queue";
+    EXPECT_LE(max_depth(proxy[pe]), static_cast<int>(p.ppe_to_spe_dma_slots))
+        << p.pe_name(pe) << " proxy queue";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -90,8 +90,10 @@ TEST(ChromeTrace, ProducesValidLookingJson) {
 
 TEST(ChromeTrace, EscapesSpecialCharacters) {
   std::vector<TraceEvent> events;
-  events.push_back({TraceEvent::Kind::kCompute, "weird\"name\\", 0, 0.0,
-                    1.0, 0});
+  TraceEvent weird;
+  weird.name = "weird\"name\\";
+  weird.end = 1.0;
+  events.push_back(weird);
   const std::string json =
       chrome_trace_json(events, platforms::qs22_single_cell());
   EXPECT_NE(json.find("weird\\\"name\\\\"), std::string::npos);
@@ -99,7 +101,11 @@ TEST(ChromeTrace, EscapesSpecialCharacters) {
 
 TEST(ChromeTrace, RejectsNegativeDurations) {
   std::vector<TraceEvent> events;
-  events.push_back({TraceEvent::Kind::kCompute, "bad", 0, 2.0, 1.0, 0});
+  TraceEvent bad;
+  bad.name = "bad";
+  bad.start = 2.0;
+  bad.end = 1.0;
+  events.push_back(bad);
   EXPECT_THROW(chrome_trace_json(events, platforms::qs22_single_cell()),
                Error);
 }
