@@ -96,6 +96,35 @@ void BM_MilpMapping(benchmark::State& state) {
 BENCHMARK(BM_MilpMapping)->Arg(10)->Arg(25)->Arg(50)
     ->Unit(benchmark::kMillisecond)->Iterations(1);
 
+// Parallel branch-and-bound: same instance, varying worker threads.  The
+// heuristic seeds are disabled and the gap set to 0 so the search explores
+// a real tree; the result is bit-identical across thread counts (the
+// solver's determinism guarantee), so the runs are directly comparable.
+void BM_MilpMappingParallel(benchmark::State& state) {
+  gen::DagGenParams params;
+  params.task_count = static_cast<std::size_t>(state.range(0));
+  params.seed = 1;  // a seed whose gap-0 tree is a few hundred nodes
+  TaskGraph graph = gen::daggen_random(params);
+  gen::set_ccr(graph, 0.775);
+  const SteadyStateAnalysis analysis(std::move(graph),
+                                     platforms::qs22_single_cell());
+  mapping::MilpMapperOptions opts;
+  opts.milp.relative_gap = 0.0;
+  opts.milp.time_limit_seconds = 120.0;
+  opts.seed_with_heuristics = false;
+  opts.with_threads(static_cast<std::size_t>(state.range(1)));
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    const auto r = mapping::solve_optimal_mapping(analysis, opts);
+    nodes = r.nodes;
+    benchmark::DoNotOptimize(r.period);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_MilpMappingParallel)
+    ->Args({15, 1})->Args({15, 4})->Args({20, 1})->Args({20, 4})
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -44,9 +44,12 @@ int usage() {
                "usage:\n"
                "  cellstream_cli generate <tasks> <seed> [ccr]\n"
                "  cellstream_cli info     <graph-file>\n"
-               "  cellstream_cli solve    <graph-file> <strategy> [spes]\n"
+               "  cellstream_cli solve    <graph-file> <strategy> [spes] "
+               "[threads]\n"
                "      strategy: milp | greedy-mem | greedy-cpu | "
                "greedy-period | local-search | round-robin | ppe-only\n"
+               "      threads:  milp only; node-LP workers (0 = all cores;"
+               " the result is identical for every value)\n"
                "  cellstream_cli simulate <graph-file> <mapping-file> "
                "[instances] [trace.json]\n"
                "  cellstream_cli schedule <graph-file> <mapping-file>\n"
@@ -94,9 +97,30 @@ int cmd_solve(int argc, char** argv) {
 
   Mapping mapping;
   if (strategy == "milp") {
-    const mapping::MilpMapperResult r = mapping::solve_optimal_mapping(analysis);
+    mapping::MilpMapperOptions milp_options;
+    if (argc > 5) {
+      milp_options.with_threads(static_cast<std::size_t>(std::atoi(argv[5])));
+    }
+    const mapping::MilpMapperResult r =
+        mapping::solve_optimal_mapping(analysis, milp_options);
+    const milp::SearchStats& s = r.stats;
+    const std::size_t starts = s.warm_start_hits + s.warm_start_misses;
     std::fprintf(stderr, "milp: %s, gap %.3f, %zu nodes, %.2fs\n",
                  milp::to_string(r.status), r.gap, r.nodes, r.solve_seconds);
+    std::fprintf(stderr,
+                 "milp: %zu rounds on %zu thread(s), %zu pivots "
+                 "(%zu phase-1), warm-start rate %.0f%%\n",
+                 s.rounds, s.threads_used, s.lp_iterations,
+                 s.phase1_iterations,
+                 starts != 0
+                     ? 100.0 * static_cast<double>(s.warm_start_hits) /
+                           static_cast<double>(starts)
+                     : 0.0);
+    std::fprintf(stderr,
+                 "milp: %zu pruned, %zu integral leaves, %zu infeasible, "
+                 "callback %zu/%zu accepted, peak open list %zu\n",
+                 s.pruned_by_bound, s.integral_leaves, s.infeasible_nodes,
+                 s.callback_accepted, s.callback_candidates, s.max_open_size);
     mapping = r.mapping;
   } else if (strategy == "local-search") {
     mapping = mapping::local_search_heuristic(analysis);

@@ -1,5 +1,18 @@
 #!/bin/sh
 set -x
+
+# ./run_all.sh tsan — ThreadSanitizer sweep of the concurrent code paths
+# (parallel branch-and-bound workers, host runtime PE threads): separate
+# instrumented build tree, then the unit + property labels under TSan.
+if [ "$1" = "tsan" ]; then
+  cmake -B build-tsan -S . -DCELLSTREAM_TSAN=ON || exit 1
+  cmake --build build-tsan -j "$(nproc)" || exit 1
+  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS}" \
+    ctest --test-dir build-tsan -L 'unit|property' --output-on-failure \
+    2>&1 | tee /root/repo/tsan_output.txt
+  exit $?
+fi
+
 ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
 build/examples/cellstream_fuzz --smoke 2>&1 | tee /root/repo/fuzz_output.txt
 for b in build/bench/*; do

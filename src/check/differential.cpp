@@ -133,6 +133,49 @@ DifferentialReport cross_check_mappers(const SteadyStateAnalysis& analysis,
                               milp.status == milp::Status::kLimitFeasible;
     outcome.lower_bound = milp.best_bound;
     report.outcomes.push_back(std::move(outcome));
+
+    // D5: the parallel solver must be bit-identical to the sequential one.
+    // Only a time/node-limit stop (which depends on the wall clock) may
+    // legitimately diverge, so the rule applies when both runs finished.
+    if (options.check_parallel_milp && options.milp_threads > 1) {
+      milp_options.milp.threads = options.milp_threads;
+      const mapping::MilpMapperResult parallel =
+          mapping::solve_optimal_mapping(analysis, milp_options);
+      const bool sequential_finished = milp.status == milp::Status::kOptimal;
+      const bool parallel_finished =
+          parallel.status == milp::Status::kOptimal;
+      if (sequential_finished && parallel_finished) {
+        if (!(parallel.mapping == milp.mapping)) {
+          report.violations.push_back(
+              {"differential",
+               "milp with " + std::to_string(options.milp_threads) +
+                   " threads returned a different mapping than the "
+                   "sequential solver (determinism broken)"});
+        }
+        if (parallel.period != milp.period ||
+            parallel.best_bound != milp.best_bound) {
+          report.violations.push_back(
+              {"differential",
+               "milp with " + std::to_string(options.milp_threads) +
+                   " threads: period/bound not bit-identical (" +
+                   format_number(parallel.period) + "s/" +
+                   format_number(parallel.best_bound) + "s vs " +
+                   format_number(milp.period) + "s/" +
+                   format_number(milp.best_bound) + "s)"});
+        }
+        if (parallel.nodes != milp.nodes ||
+            parallel.lp_iterations != milp.lp_iterations) {
+          report.violations.push_back(
+              {"differential",
+               "milp with " + std::to_string(options.milp_threads) +
+                   " threads explored a different tree (" +
+                   std::to_string(parallel.nodes) + " nodes/" +
+                   std::to_string(parallel.lp_iterations) + " pivots vs " +
+                   std::to_string(milp.nodes) + "/" +
+                   std::to_string(milp.lp_iterations) + ")"});
+        }
+      }
+    }
   }
 
   for (const char* name : {"greedy-mem", "greedy-cpu"}) {

@@ -11,7 +11,12 @@
 //       MILP: the paper's 5 %) is never beaten by any other mapper by more
 //       than that gap: period_opt <= period_other x (1 + g),
 //   D4  a claimed lower bound (the MILP's best_bound) never exceeds the
-//       exhaustive optimum.
+//       exhaustive optimum,
+//   D5  the parallel MILP solver is bit-identical to the sequential one:
+//       re-running the branch-and-bound with milp_threads workers must
+//       reproduce the exact mapping, period, best bound, node count, and
+//       pivot count (the solver's determinism-by-construction guarantee),
+//       checked whenever neither run was cut off by a time/node limit.
 //
 // check_outcomes() applies the rules to an arbitrary outcome set, so tests
 // can feed fabricated results and prove the oracle actually rejects them;
@@ -52,6 +57,10 @@ struct DifferentialOptions {
   std::size_t max_tasks = 8;
   /// Skip the MILP mapper (exhaustive + greedies only).
   bool run_milp = true;
+  /// D5: re-run the MILP with `milp_threads` workers and require the
+  /// result to be bit-identical to the sequential run.
+  bool check_parallel_milp = true;
+  std::size_t milp_threads = 4;
 };
 
 struct DifferentialReport {

@@ -417,7 +417,17 @@ struct IncrementalSimplex::Impl {
     }
     recompute_basics();
 
-    std::size_t degenerate_run = 0;
+    // Anti-cycling: Bland's rule engages after `stall_limit` pivots without
+    // *merit* progress (phase-1 infeasibility, phase-2 objective) relative
+    // to the last reference point.  Counting degenerate steps instead (the
+    // old scheme) was evadable: alternating degenerate and tiny-but-nonzero
+    // steps reset the counter every other pivot and could cycle forever.
+    // The reference only advances on measurable progress, so a long run of
+    // sub-tolerance steps still trips the counter, while genuine cumulative
+    // progress (many tiny steps adding up) resets it.
+    std::size_t stalled_run = 0;
+    double merit_ref = std::numeric_limits<double>::infinity();
+    bool merit_ref_phase1 = true;
     for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
       if (etas.size() >= opts.refactor_interval || eta_nnz > 16 * m + 1024) {
         refactor();
@@ -428,6 +438,21 @@ struct IncrementalSimplex::Impl {
       if (phase1) ++result.phase1_iterations;
       ++result.iterations;
 
+      double merit = infeas;
+      if (!phase1) {
+        merit = 0.0;
+        for (std::size_t j = 0; j < n_struct; ++j) merit += cost[j] * x[j];
+      }
+      if (phase1 != merit_ref_phase1 ||
+          merit_ref - merit >
+              opts.stall_progress_tol * (1.0 + std::abs(merit_ref))) {
+        stalled_run = 0;
+        merit_ref = merit;
+        merit_ref_phase1 = phase1;
+      } else {
+        ++stalled_run;
+      }
+
       // Gradient for BTRAN: phase 1 uses the infeasibility gradient, phase
       // 2 the objective coefficients of the basics.
       if (!phase1) {
@@ -435,7 +460,7 @@ struct IncrementalSimplex::Impl {
       }
       btran(grad, y);
 
-      const bool bland = degenerate_run > opts.stall_limit;
+      const bool bland = stalled_run > opts.stall_limit;
       const Entering enter = price(phase1, bland);
       if (enter.col == kNoRow) {
         if (phase1) {
@@ -461,7 +486,6 @@ struct IncrementalSimplex::Impl {
         result.status = SolveStatus::kUnbounded;
         return finish(result);
       }
-      degenerate_run = ratio.t <= opts.feasibility_tol ? degenerate_run + 1 : 0;
       pivot(enter.col, enter.dir, ratio);
 
       if ((iter + 1) % 128 == 0) recompute_basics();
@@ -477,13 +501,19 @@ struct IncrementalSimplex::Impl {
     for (std::size_t j = 0; j < n_struct; ++j) {
       result.objective += cost[j] * x[j];
     }
-    result.basis.status = status;
-    result.basis.basic_col = basic_col;
+    if (opts.collect_basis) {
+      result.basis.status = status;
+      result.basis.basic_col = basic_col;
+    }
     return result;
   }
 
   bool load_warm(const Basis& warm) {
     if (warm.status.size() != ncols || warm.basic_col.size() != m) {
+      // A dimensionally stale basis (saved from a different problem shape)
+      // must leave the instance in the documented all-slack state, not
+      // whatever basis a previous solve left behind.
+      reset_basis();
       return false;
     }
     status = warm.status;
@@ -522,6 +552,13 @@ void IncrementalSimplex::reset_basis() { impl_->reset_basis(); }
 
 bool IncrementalSimplex::load_basis(const Basis& basis) {
   return impl_->load_warm(basis);
+}
+
+Basis IncrementalSimplex::save_basis() const {
+  Basis basis;
+  basis.status = impl_->status;
+  basis.basic_col = impl_->basic_col;
+  return basis;
 }
 
 std::size_t IncrementalSimplex::structural_count() const {

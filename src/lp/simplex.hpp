@@ -61,14 +61,26 @@ struct SimplexOptions {
   double pivot_tol = 1e-8;        ///< Smallest acceptable pivot magnitude.
   std::size_t max_iterations = 200000;
   std::size_t refactor_interval = 120;  ///< Pivots between refactorizations.
-  std::size_t stall_limit = 60;  ///< Degenerate pivots before Bland's rule.
+  /// Consecutive pivots without measurable merit progress (phase-1
+  /// infeasibility or phase-2 objective) before Bland's rule engages.  The
+  /// counter is progress-based, not step-size-based, so alternating
+  /// degenerate / tiny-step pivot patterns cannot evade it.
+  std::size_t stall_limit = 60;
+  /// Relative merit decrease per pivot that counts as progress (resets the
+  /// stall counter and leaves Bland mode).
+  double stall_progress_tol = 1e-10;
+  /// Copy the final basis into SimplexResult::basis.  Branch-and-bound
+  /// workers turn this off and snapshot explicitly (save_basis) only for
+  /// the nodes that actually branch, avoiding one O(cols + rows) copy per
+  /// node solve.
+  bool collect_basis = true;
 };
 
 struct SimplexResult {
   SolveStatus status = SolveStatus::kIterationLimit;
   double objective = 0.0;
   std::vector<double> x;  ///< Structural variable values (empty if infeasible).
-  Basis basis;            ///< Final basis (valid for kOptimal).
+  Basis basis;  ///< Final basis (valid for kOptimal; empty if collect_basis off).
   std::size_t iterations = 0;
   std::size_t phase1_iterations = 0;
 };
@@ -105,8 +117,16 @@ class IncrementalSimplex {
   void reset_basis();
 
   /// Install an externally saved basis; returns false (and resets to the
-  /// all-slack basis) if it is dimensionally wrong or singular.
+  /// all-slack basis) if it is dimensionally wrong or singular.  The basis
+  /// is refactorized from scratch, so the subsequent solve trajectory is a
+  /// pure function of (problem, bounds, basis) — independent of any solves
+  /// this instance ran before.  Branch-and-bound relies on that for its
+  /// thread-count-invariant determinism (docs/FORMULATION.md).
   bool load_basis(const Basis& basis);
+
+  /// Snapshot the current basis (statuses + basic columns), reloadable via
+  /// load_basis on any instance of the same problem shape.
+  Basis save_basis() const;
 
   std::size_t structural_count() const;
 

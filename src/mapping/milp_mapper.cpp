@@ -386,6 +386,7 @@ MilpMapperResult solve_optimal_mapping(const SteadyStateAnalysis& analysis,
   out.nodes = result.nodes;
   out.lp_iterations = result.lp_iterations;
   out.solve_seconds = result.solve_seconds;
+  out.stats = result.stats;
   return out;
 }
 

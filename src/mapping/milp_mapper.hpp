@@ -58,6 +58,14 @@ struct MilpMapperOptions {
     milp.relative_gap = 0.05;
     milp.time_limit_seconds = 60.0;
   }
+
+  /// Solve node LPs on `n` worker threads (0 = one per hardware thread).
+  /// The resulting mapping, period, bound, and node count are bit-identical
+  /// for every thread count — only the wall clock changes.
+  MilpMapperOptions& with_threads(std::size_t n) {
+    milp.threads = n;
+    return *this;
+  }
 };
 
 struct MilpMapperResult {
@@ -70,6 +78,9 @@ struct MilpMapperResult {
   std::size_t nodes = 0;
   std::size_t lp_iterations = 0;
   double solve_seconds = 0.0;
+  /// Solver observability: rounds, warm-start hit rate, prune counts,
+  /// callback accept/reject counts, peak open list, threads used.
+  milp::SearchStats stats;
 };
 
 /// Compute a throughput-optimal (within the configured gap) mapping of the

@@ -1,10 +1,15 @@
 #include "milp/branch_and_bound.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <exception>
+#include <iterator>
 #include <limits>
 #include <memory>
+#include <thread>
+#include <utility>
 
 namespace cellstream::milp {
 
@@ -31,6 +36,74 @@ const char* to_string(Status status) {
   return "unknown";
 }
 
+// ---------------------------------------------------------------------------
+// Search-tree data structures.
+//
+// A node is identified by its chain of variable fixings (a persistent
+// linked list shared between siblings, root fixes applied last) plus the
+// basis snapshot of its parent's LP optimum.  Nothing else is needed to
+// solve it, which is what makes a node solve a pure function: any worker,
+// on any thread, in any round, produces bit-identical results for the
+// same node.
+
+struct Solver::Fixing {
+  std::shared_ptr<const Fixing> parent;
+  /// The branch fix first, then any group-propagated zero fixes.  A
+  /// variable may reappear deeper in the chain, but only ever with the
+  /// same value (a 0-fixed variable is never fractional, so it is never
+  /// branched on again), so application order does not matter.
+  std::vector<std::pair<lp::VarId, double>> fixes;
+};
+
+struct Solver::Node {
+  std::shared_ptr<const Fixing> fixings;  // null for the root
+  std::shared_ptr<const lp::Basis> warm;  // parent basis; null = all-slack
+  double bound = -kInf;  // parent LP objective: lower bound for the subtree
+  std::uint32_t depth = 0;
+  std::uint64_t seq = 0;  // unique creation index: deterministic tiebreak
+};
+
+struct Solver::NodeOutcome {
+  enum class Kind : std::uint8_t {
+    kInfeasible,  ///< LP infeasible: subtree closed.
+    kPruned,      ///< LP bound met the frozen round threshold.
+    kLeaf,        ///< Integral LP optimum.
+    kBranch,      ///< Fractional (or unresolved) node: two children.
+    kAbandoned,   ///< LP unresolved with every integer variable fixed.
+  };
+  Kind kind = Kind::kAbandoned;
+  bool bound_valid = false;
+  double bound = -kInf;  ///< Node LP objective when bound_valid.
+  std::size_t lp_iterations = 0;
+  std::size_t phase1_iterations = 0;
+  bool warm_hit = false;
+  Candidate leaf{0.0, {}};            ///< kLeaf only.
+  std::optional<Candidate> rounded;   ///< Rounding-callback proposal.
+  lp::VarId branch_var = 0;           ///< kBranch only.
+  double branch_first = 1.0;          ///< Value of the first child.
+  std::shared_ptr<const lp::Basis> child_warm;
+  std::exception_ptr error;  ///< Set instead of the above if the solve threw.
+};
+
+/// One thread's solver context.  Workers are reused across rounds and
+/// across solve() calls; solve_node fully reverts the bound changes of the
+/// previous node, so no state leaks between nodes.
+struct Solver::Worker {
+  lp::IncrementalSimplex simplex;
+  std::vector<double> cur_lo, cur_up;  // current structural bounds
+  std::vector<lp::VarId> touched;      // vars diverging from problem bounds
+
+  Worker(const lp::Problem& problem, const lp::SimplexOptions& lp_options)
+      : simplex(problem, lp_options) {
+    cur_lo.resize(problem.variable_count());
+    cur_up.resize(problem.variable_count());
+    for (lp::VarId v = 0; v < problem.variable_count(); ++v) {
+      cur_lo[v] = problem.var_lo(v);
+      cur_up[v] = problem.var_up(v);
+    }
+  }
+};
+
 Solver::Solver(lp::Problem problem, std::vector<lp::VarId> integer_vars,
                Options options)
     : problem_(std::move(problem)),
@@ -46,6 +119,8 @@ Solver::Solver(lp::Problem problem, std::vector<lp::VarId> integer_vars,
     is_integer_[v] = true;
   }
 }
+
+Solver::~Solver() = default;
 
 void Solver::add_exactly_one_group(std::vector<lp::VarId> group) {
   // Validate the whole group before mutating any state, so a rejected
@@ -79,8 +154,21 @@ bool Solver::out_of_budget() const {
   return nodes_ >= options_.max_nodes || now_seconds() >= deadline_;
 }
 
+void Solver::note_closed_bound(double bound) {
+  frontier_bound_ = frontier_seen_ ? std::min(frontier_bound_, bound) : bound;
+  frontier_seen_ = true;
+}
+
 bool Solver::try_incumbent(const Candidate& candidate) {
   if (candidate.x.size() != problem_.variable_count()) return false;
+  // Distrust the candidate wholesale.  Non-finite entries must be caught
+  // explicitly: a NaN coordinate makes every downstream comparison
+  // (fractionality > tol, violation > tol) silently false, which used to
+  // let a fabricated candidate through.
+  if (!std::isfinite(candidate.objective)) return false;
+  for (double value : candidate.x) {
+    if (!std::isfinite(value)) return false;
+  }
   if (has_incumbent_ && candidate.objective >= incumbent_obj_) return false;
   for (lp::VarId v : integer_vars_) {
     const double frac = std::abs(candidate.x[v] - std::round(candidate.x[v]));
@@ -88,8 +176,15 @@ bool Solver::try_incumbent(const Candidate& candidate) {
   }
   if (problem_.max_violation(candidate.x) > 1e-6) return false;
   const double true_obj = problem_.objective_value(candidate.x);
-  if (std::abs(true_obj - candidate.objective) > 1e-6 * (1.0 + std::abs(true_obj))) {
-    // Callback lied about the objective; trust the recomputation.
+  if (!std::isfinite(true_obj)) return false;
+  if (std::abs(true_obj - candidate.objective) >
+      1e-6 * (1.0 + std::abs(true_obj))) {
+    // The claimed objective is inconsistent with the recomputed one.  Do
+    // NOT silently substitute the recomputation: a callback that lies
+    // about the objective cannot be trusted about anything else, and
+    // accepting it here would prune the node that produced it.  Reject the
+    // candidate and let the search re-expand normally.
+    return false;
   }
   if (has_incumbent_ && true_obj >= incumbent_obj_) return false;
   has_incumbent_ = true;
@@ -98,47 +193,51 @@ bool Solver::try_incumbent(const Candidate& candidate) {
   return true;
 }
 
-void Solver::fix_variable(lp::VarId var, double value,
-                          std::vector<BoundChange>& undo) {
-  undo.push_back({var, cur_lo_[var], cur_up_[var]});
-  cur_lo_[var] = value;
-  cur_up_[var] = value;
-  simplex_->set_variable_bounds(var, value, value);
-  if (value > 0.5 && group_of_[var] != kNoGroup) {
-    for (lp::VarId other : groups_[group_of_[var]]) {
-      if (other == var) continue;
-      if (cur_lo_[other] == 0.0 && cur_up_[other] == 0.0) continue;
-      undo.push_back({other, cur_lo_[other], cur_up_[other]});
-      cur_lo_[other] = 0.0;
-      cur_up_[other] = 0.0;
-      simplex_->set_variable_bounds(other, 0.0, 0.0);
+Solver::NodeOutcome Solver::solve_node(Worker& worker, const Node& node,
+                                       double prune_bound,
+                                       bool have_prune_bound) const {
+  NodeOutcome out;
+
+  // Revert the previous node's bounds, then apply this node's chain.
+  for (lp::VarId v : worker.touched) {
+    worker.cur_lo[v] = problem_.var_lo(v);
+    worker.cur_up[v] = problem_.var_up(v);
+    worker.simplex.set_variable_bounds(v, worker.cur_lo[v], worker.cur_up[v]);
+  }
+  worker.touched.clear();
+  for (const Fixing* f = node.fixings.get(); f != nullptr;
+       f = f->parent.get()) {
+    for (const auto& [var, value] : f->fixes) {
+      worker.cur_lo[var] = value;
+      worker.cur_up[var] = value;
+      worker.simplex.set_variable_bounds(var, value, value);
+      worker.touched.push_back(var);
     }
   }
-}
 
-void Solver::dive(std::size_t depth) {
-  if (stopped_) return;
-  if (out_of_budget()) {
-    stopped_ = true;
-    return;
+  // Load the parent basis (refactorized from scratch inside load_basis) or
+  // fall back to all-slack.  Either way the solve trajectory depends only
+  // on (problem, chain, parent basis) — never on the worker's history.
+  out.warm_hit = node.warm != nullptr && worker.simplex.load_basis(*node.warm);
+  if (!out.warm_hit) worker.simplex.reset_basis();
+
+  const lp::SimplexResult res = worker.simplex.solve();
+  out.lp_iterations = res.iterations;
+  out.phase1_iterations = res.phase1_iterations;
+
+  if (res.status == lp::SolveStatus::kInfeasible) {
+    out.kind = NodeOutcome::Kind::kInfeasible;
+    return out;
   }
-  ++nodes_;
+  out.bound_valid = res.status == lp::SolveStatus::kOptimal;
+  out.bound = out.bound_valid ? res.objective : -kInf;
 
-  const lp::SimplexResult res = simplex_->solve();
-  lp_iterations_ += res.iterations;
-
-  if (res.status == lp::SolveStatus::kInfeasible) return;
-  const bool bound_valid = res.status == lp::SolveStatus::kOptimal;
-  const double bound = bound_valid ? res.objective : -kInf;
-  if (nodes_ == 1 && bound_valid) {
-    root_bound_ = bound;  // valid global lower bound even if we stop early
-    have_root_bound_ = true;
-  }
-
-  if (has_incumbent_ && bound >= prune_threshold()) {
-    frontier_bound_ = frontier_seen_ ? std::min(frontier_bound_, bound) : bound;
-    frontier_seen_ = true;
-    return;
+  // Prune against the round's frozen threshold.  The commit-time threshold
+  // can only be tighter (the incumbent only improves), so a worker-side
+  // prune is always still valid when committed.
+  if (have_prune_bound && out.bound_valid && out.bound >= prune_bound) {
+    out.kind = NodeOutcome::Kind::kPruned;
+    return out;
   }
 
   // Locate the branching variable: fractional integer var with the highest
@@ -147,7 +246,7 @@ void Solver::dive(std::size_t depth) {
   bool found_fractional = false;
   double best_priority = -kInf;
   double best_frac = -1.0;
-  if (bound_valid) {
+  if (out.bound_valid) {
     for (lp::VarId v : integer_vars_) {
       const double val = res.x[v];
       const double frac = std::min(val - std::floor(val), std::ceil(val) - val);
@@ -163,53 +262,116 @@ void Solver::dive(std::size_t depth) {
     }
   }
 
-  if (bound_valid && !found_fractional) {
+  if (out.bound_valid && !found_fractional) {
     // Integral LP optimum: a leaf.
-    (void)try_incumbent({res.objective, res.x});
-    frontier_bound_ =
-        frontier_seen_ ? std::min(frontier_bound_, res.objective) : res.objective;
-    frontier_seen_ = true;
-    return;
+    out.kind = NodeOutcome::Kind::kLeaf;
+    out.leaf = {res.objective, res.x};
+    return out;
   }
 
-  if (bound_valid && rounding_) {
-    if (std::optional<Candidate> candidate = rounding_(res.x)) {
-      if (try_incumbent(*candidate) && bound >= prune_threshold()) {
-        frontier_bound_ =
-            frontier_seen_ ? std::min(frontier_bound_, bound) : bound;
-        frontier_seen_ = true;
-        return;
-      }
-    }
+  if (out.bound_valid && rounding_) {
+    // The proposal is validated (and the incumbent updated) at commit
+    // time, on the main thread, in canonical order.
+    out.rounded = rounding_(res.x);
   }
 
-  if (!bound_valid) {
+  if (!out.bound_valid) {
     // The LP did not converge; pick any unfixed integer var to keep making
     // progress (bound stays -inf so nothing is pruned below).
     for (lp::VarId v : integer_vars_) {
-      if (cur_lo_[v] < cur_up_[v]) {
+      if (worker.cur_lo[v] < worker.cur_up[v]) {
         branch_var = v;
         found_fractional = true;
         break;
       }
     }
-    if (!found_fractional) return;  // everything fixed yet unsolved: give up
+    if (!found_fractional) return out;  // everything fixed yet unsolved
+    out.kind = NodeOutcome::Kind::kBranch;
+    out.branch_var = branch_var;
+    out.branch_first = 1.0;
+    return out;
   }
 
-  const double lp_val = bound_valid ? res.x[branch_var] : 0.5;
-  const double first = lp_val >= 0.5 ? 1.0 : 0.0;
+  out.kind = NodeOutcome::Kind::kBranch;
+  out.branch_var = branch_var;
+  out.branch_first = res.x[branch_var] >= 0.5 ? 1.0 : 0.0;
+  out.child_warm = std::make_shared<lp::Basis>(worker.simplex.save_basis());
+  return out;
+}
+
+void Solver::push_children(const Node& node, const NodeOutcome& outcome) {
   for (int child = 0; child < 2; ++child) {
-    const double value = child == 0 ? first : 1.0 - first;
-    std::vector<BoundChange> undo;
-    fix_variable(branch_var, value, undo);
-    dive(depth + 1);
-    for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
-      cur_lo_[it->var] = it->lo;
-      cur_up_[it->var] = it->up;
-      simplex_->set_variable_bounds(it->var, it->lo, it->up);
+    const double value =
+        child == 0 ? outcome.branch_first : 1.0 - outcome.branch_first;
+    auto fixing = std::make_shared<Fixing>();
+    fixing->parent = node.fixings;
+    fixing->fixes.emplace_back(outcome.branch_var, value);
+    if (value > 0.5 && group_of_[outcome.branch_var] != kNoGroup) {
+      // Exactly-one group: fixing one member to 1 fixes the others to 0.
+      for (lp::VarId other : groups_[group_of_[outcome.branch_var]]) {
+        if (other != outcome.branch_var) fixing->fixes.emplace_back(other, 0.0);
+      }
     }
-    if (stopped_) return;
+    Node n;
+    n.fixings = std::move(fixing);
+    n.warm = outcome.child_warm;
+    n.bound = outcome.bound;
+    n.depth = node.depth + 1;
+    n.seq = next_seq_++;
+    open_.push_back(std::move(n));
   }
+  stats_.max_open_size = std::max(stats_.max_open_size, open_.size());
+}
+
+void Solver::commit_outcome(const Node& node, NodeOutcome& outcome) {
+  ++nodes_;
+  ++stats_.nodes;
+  lp_iterations_ += outcome.lp_iterations;
+  stats_.lp_iterations += outcome.lp_iterations;
+  stats_.phase1_iterations += outcome.phase1_iterations;
+  if (outcome.warm_hit) {
+    ++stats_.warm_start_hits;
+  } else {
+    ++stats_.warm_start_misses;
+  }
+  if (nodes_ == 1 && outcome.bound_valid) {
+    root_bound_ = outcome.bound;  // valid global LB even if we stop early
+    have_root_bound_ = true;
+  }
+
+  switch (outcome.kind) {
+    case NodeOutcome::Kind::kInfeasible:
+      ++stats_.infeasible_nodes;
+      return;
+    case NodeOutcome::Kind::kAbandoned:
+      return;
+    case NodeOutcome::Kind::kPruned:
+      ++stats_.pruned_by_bound;
+      note_closed_bound(outcome.bound);
+      return;
+    case NodeOutcome::Kind::kLeaf:
+      ++stats_.integral_leaves;
+      (void)try_incumbent(outcome.leaf);
+      note_closed_bound(outcome.bound);
+      return;
+    case NodeOutcome::Kind::kBranch:
+      break;
+  }
+
+  if (outcome.rounded) {
+    ++stats_.callback_candidates;
+    if (try_incumbent(*outcome.rounded)) {
+      ++stats_.callback_accepted;
+      if (outcome.bound_valid && outcome.bound >= prune_threshold()) {
+        ++stats_.pruned_by_bound;
+        note_closed_bound(outcome.bound);
+        return;
+      }
+    } else {
+      ++stats_.callback_rejected;
+    }
+  }
+  push_children(node, outcome);
 }
 
 Result Solver::solve() {
@@ -222,16 +384,144 @@ Result Solver::solve() {
   frontier_bound_ = 0.0;
   have_root_bound_ = false;
   root_bound_ = 0.0;
+  stats_ = SearchStats{};
+  next_seq_ = 0;
+  open_.clear();
 
-  cur_lo_.resize(problem_.variable_count());
-  cur_up_.resize(problem_.variable_count());
-  for (lp::VarId v = 0; v < problem_.variable_count(); ++v) {
-    cur_lo_[v] = problem_.var_lo(v);
-    cur_up_[v] = problem_.var_up(v);
+  Node root;
+  root.seq = next_seq_++;
+  open_.push_back(std::move(root));
+  stats_.max_open_size = 1;
+
+  const std::size_t round_size = std::max<std::size_t>(1, options_.round_size);
+  std::size_t threads = options_.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  simplex_ = std::make_unique<lp::IncrementalSimplex>(problem_, options_.lp);
+  // Workers turn off the per-solve basis copy; basis snapshots are taken
+  // explicitly (save_basis) only for nodes that actually branch.
+  lp::SimplexOptions worker_lp = options_.lp;
+  worker_lp.collect_basis = false;
 
-  dive(0);
+  std::vector<Node> round_nodes;
+  std::vector<NodeOutcome> outcomes;
+
+  while (!open_.empty()) {
+    if (out_of_budget()) {
+      stopped_ = true;
+      break;
+    }
+    ++stats_.rounds;
+
+    // Freeze the prune threshold for the round.  It is a pure function of
+    // the incumbent (committed sequentially last round), so it is
+    // identical for every thread count.
+    const bool have_threshold = has_incumbent_;
+    const double threshold = have_threshold ? prune_threshold() : kInf;
+
+    // Sweep: close open nodes whose subtree bound already meets the gap.
+    if (have_threshold) {
+      auto keep = open_.begin();
+      for (auto it = open_.begin(); it != open_.end(); ++it) {
+        if (it->bound >= threshold) {
+          ++stats_.pruned_by_bound;
+          note_closed_bound(it->bound);
+        } else {
+          if (keep != it) *keep = std::move(*it);
+          ++keep;
+        }
+      }
+      open_.erase(keep, open_.end());
+      if (open_.empty()) break;
+    }
+
+    // Hybrid selection: best-first while the open list is small, then
+    // depth-first to bound memory.  seq makes the order a strict total
+    // order, so selection is deterministic however open_ is laid out.
+    const bool dfs = open_.size() > options_.dfs_open_threshold;
+    const auto better = [dfs](const Node& a, const Node& b) {
+      if (dfs) {
+        if (a.depth != b.depth) return a.depth > b.depth;
+        if (a.bound != b.bound) return a.bound < b.bound;
+      } else {
+        if (a.bound != b.bound) return a.bound < b.bound;
+        if (a.depth != b.depth) return a.depth > b.depth;
+      }
+      return a.seq < b.seq;
+    };
+    std::size_t k = std::min(round_size, open_.size());
+    k = std::min(k, options_.max_nodes - nodes_);  // nodes_ < max_nodes here
+    if (k < open_.size()) {
+      std::nth_element(open_.begin(),
+                       open_.begin() + static_cast<std::ptrdiff_t>(k),
+                       open_.end(), better);
+    }
+    std::sort(open_.begin(), open_.begin() + static_cast<std::ptrdiff_t>(k),
+              better);
+    round_nodes.assign(std::make_move_iterator(open_.begin()),
+                       std::make_move_iterator(
+                           open_.begin() + static_cast<std::ptrdiff_t>(k)));
+    open_.erase(open_.begin(), open_.begin() + static_cast<std::ptrdiff_t>(k));
+
+    outcomes.clear();
+    outcomes.resize(k);
+
+    const std::size_t nthreads = std::min(threads, k);
+    while (workers_.size() < std::max<std::size_t>(nthreads, 1)) {
+      workers_.push_back(std::make_unique<Worker>(problem_, worker_lp));
+    }
+    stats_.threads_used = std::max(stats_.threads_used, nthreads);
+
+    const auto solve_guarded = [&](Worker& worker, const Node& node,
+                                   NodeOutcome& out) {
+      try {
+        out = solve_node(worker, node, threshold, have_threshold);
+      } catch (...) {
+        out = NodeOutcome{};
+        out.error = std::current_exception();
+      }
+    };
+
+    if (nthreads <= 1) {
+      for (std::size_t i = 0; i < k; ++i) {
+        solve_guarded(*workers_[0], round_nodes[i], outcomes[i]);
+        // Later outcomes are never observed once one node throws (the
+        // commit loop rethrows in canonical order), so stop early.
+        if (outcomes[i].error) break;
+      }
+    } else {
+      std::atomic<std::size_t> cursor{0};
+      const auto body = [&](std::size_t slot) {
+        Worker& worker = *workers_[slot];
+        for (;;) {
+          const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (i >= k) return;
+          solve_guarded(worker, round_nodes[i], outcomes[i]);
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(nthreads - 1);
+      try {
+        for (std::size_t slot = 1; slot < nthreads; ++slot) {
+          pool.emplace_back(body, slot);
+        }
+      } catch (...) {
+        cursor.store(k);  // drain the queue so joins return quickly
+        for (std::thread& t : pool) t.join();
+        throw;
+      }
+      body(0);
+      for (std::thread& t : pool) t.join();
+    }
+
+    // Sequential commit in selection order: incumbent updates, frontier
+    // bookkeeping, and child creation all happen here, on one thread, in
+    // an order independent of which worker solved what.
+    for (std::size_t i = 0; i < k; ++i) {
+      if (outcomes[i].error) std::rethrow_exception(outcomes[i].error);
+      commit_outcome(round_nodes[i], outcomes[i]);
+    }
+  }
 
   Result result;
   result.nodes = nodes_;
@@ -242,9 +532,23 @@ Result Solver::solve() {
     result.x = incumbent_x_;
     if (stopped_) {
       result.status = Status::kLimitFeasible;
-      result.best_bound = have_root_bound_ ? root_bound_ : -kInf;
-      result.gap = have_root_bound_ && incumbent_obj_ != 0.0
-                       ? (incumbent_obj_ - root_bound_) /
+      // Global lower bound: the weakest of the still-open subtree bounds
+      // and the closed frontier, improved by the root bound.
+      double open_lb = kInf;
+      bool have_open_lb = false;
+      if (frontier_seen_) {
+        open_lb = frontier_bound_;
+        have_open_lb = true;
+      }
+      for (const Node& n : open_) {
+        open_lb = std::min(open_lb, n.bound);
+        have_open_lb = true;
+      }
+      double bb = have_root_bound_ ? root_bound_ : -kInf;
+      if (have_open_lb) bb = std::max(bb, open_lb);
+      result.best_bound = std::min(bb, incumbent_obj_);
+      result.gap = std::isfinite(result.best_bound) && incumbent_obj_ != 0.0
+                       ? (incumbent_obj_ - result.best_bound) /
                              std::abs(incumbent_obj_)
                        : kInf;
     } else {
@@ -262,6 +566,7 @@ Result Solver::solve() {
     result.best_bound = -kInf;
     result.gap = kInf;
   }
+  result.stats = stats_;
   return result;
 }
 

@@ -73,9 +73,22 @@ class Runtime {
                             std::chrono::duration<double>(
                                 opt_.wall_timeout_seconds));
     std::vector<std::thread> workers;
-    for (const auto& assigned : pe_tasks_) {
-      if (assigned.empty()) continue;
-      workers.emplace_back([this, &assigned] { worker(assigned); });
+    workers.reserve(pe_tasks_.size());
+    try {
+      for (const auto& assigned : pe_tasks_) {
+        if (assigned.empty()) continue;
+        workers.emplace_back([this, &assigned] { worker(assigned); });
+      }
+    } catch (...) {
+      // Thread spawn failed mid-way.  Flag the error so already-running
+      // workers drain, then fall through to the joins below; letting the
+      // exception unwind past a vector of joinable threads would call
+      // std::terminate.
+      {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (failure_ == nullptr) failure_ = std::current_exception();
+      }
+      cv_.notify_all();
     }
     for (std::thread& w : workers) w.join();
     if (failure_) std::rethrow_exception(failure_);
@@ -159,7 +172,24 @@ class Runtime {
     }
   }
 
+  // Top-level worker frame: nothing may escape a std::thread body, so any
+  // exception the loop leaks (task code, packet gathering under memory
+  // pressure, even the wait itself) is recorded as the run's first failure
+  // and every peer is woken to drain.  run() joins all workers and then
+  // rethrows that first failure.
   void worker(const std::vector<TaskId>& assigned) {
+    try {
+      worker_loop(assigned);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (failure_ == nullptr) failure_ = std::current_exception();
+      }
+      cv_.notify_all();
+    }
+  }
+
+  void worker_loop(const std::vector<TaskId>& assigned) {
     std::size_t cursor = 0;
     std::unique_lock<std::mutex> lock(mutex_);
     while (!timed_out_ && failure_ == nullptr) {
@@ -189,15 +219,11 @@ class Runtime {
 
       TaskInputs inputs = gather_locked(chosen);
       lock.unlock();
-      std::vector<Packet> outputs;
-      try {
-        outputs = tasks_[chosen](inputs);
-        lock.lock();
-        commit_locked(chosen, std::move(outputs));
-      } catch (...) {
-        if (!lock.owns_lock()) lock.lock();
-        if (failure_ == nullptr) failure_ = std::current_exception();
-      }
+      // If the task (or the re-lock) throws, the unique_lock is released
+      // by unwinding and worker() records the failure.
+      std::vector<Packet> outputs = tasks_[chosen](inputs);
+      lock.lock();
+      commit_locked(chosen, std::move(outputs));
       cv_.notify_all();
     }
   }

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "milp/branch_and_bound.hpp"
 #include "support/rng.hpp"
 
@@ -128,6 +131,129 @@ TEST(MilpRobustness, InfeasibleAfterGroupPropagation) {
   Solver solver(std::move(p), {a, b});
   solver.add_exactly_one_group({a, b});
   EXPECT_EQ(solver.solve().status, Status::kInfeasible);
+}
+
+// Fabricated-callback regressions: a rounding callback is untrusted input.
+// NaN coordinates and objectives make every downstream tolerance check
+// (fractionality > tol, violation > tol) silently false, which used to let
+// such candidates through; an inconsistent claimed objective used to be
+// silently replaced by the recomputation, trusting a provably lying
+// callback.  All of them must be rejected outright and the search must
+// still reach the true optimum.
+
+// min -3a - 2b st 2a + 2b <= 3, binaries.  The root LP optimum is the
+// fractional (1, 0.5), so the rounding callback is consulted at least
+// once; the true optimum is -3 at (1, 0).
+Solver fractional_root_solver() {
+  Problem p;
+  const VarId a = p.add_variable(0, 1, -3.0);
+  const VarId b = p.add_variable(0, 1, -2.0);
+  p.add_row(-kInfinity, 3.0, {{a, 2.0}, {b, 2.0}});
+  Options opts;
+  opts.relative_gap = 0.0;
+  return Solver(std::move(p), {a, b}, opts);
+}
+
+TEST(MilpRobustness, CallbackNanObjectiveIsRejected) {
+  Solver solver = fractional_root_solver();
+  solver.set_rounding_callback(
+      [](const std::vector<double>&) -> std::optional<Candidate> {
+        return Candidate{std::numeric_limits<double>::quiet_NaN(),
+                         {1.0, 0.0}};
+      });
+  const Result r = solver.solve();
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, -3.0, 1e-9);
+  EXPECT_TRUE(std::isfinite(r.objective));
+  EXPECT_GE(r.stats.callback_candidates, 1u);
+  EXPECT_EQ(r.stats.callback_accepted, 0u);
+}
+
+TEST(MilpRobustness, CallbackNanCoordinateIsRejected) {
+  Solver solver = fractional_root_solver();
+  solver.set_rounding_callback(
+      [](const std::vector<double>&) -> std::optional<Candidate> {
+        // Plausible objective, poisoned solution vector.  A NaN coordinate
+        // makes the fractionality and violation checks silently pass.
+        return Candidate{-3.0,
+                         {1.0, std::numeric_limits<double>::quiet_NaN()}};
+      });
+  const Result r = solver.solve();
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, -3.0, 1e-9);
+  for (double v : r.x) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GE(r.stats.callback_candidates, 1u);
+  EXPECT_EQ(r.stats.callback_accepted, 0u);
+}
+
+TEST(MilpRobustness, CallbackInfiniteObjectiveIsRejected) {
+  Solver solver = fractional_root_solver();
+  solver.set_rounding_callback(
+      [](const std::vector<double>&) -> std::optional<Candidate> {
+        // -inf claims "better than anything": must not poison the
+        // incumbent or the reported gap/bound.
+        return Candidate{-std::numeric_limits<double>::infinity(),
+                         {1.0, 0.0}};
+      });
+  const Result r = solver.solve();
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, -3.0, 1e-9);
+  EXPECT_TRUE(std::isfinite(r.best_bound));
+  EXPECT_GE(r.stats.callback_candidates, 1u);
+  EXPECT_EQ(r.stats.callback_accepted, 0u);
+}
+
+TEST(MilpRobustness, CallbackInconsistentObjectiveIsRejectedNotRecomputed) {
+  // The candidate point is feasible and integral but the claimed objective
+  // (-100) contradicts the recomputation (-3).  The fix rejects the
+  // candidate wholesale instead of silently substituting the recomputed
+  // value: a callback that lies about the objective cannot be trusted
+  // about anything else.
+  Solver solver = fractional_root_solver();
+  solver.set_rounding_callback(
+      [](const std::vector<double>&) -> std::optional<Candidate> {
+        return Candidate{-100.0, {1.0, 0.0}};
+      });
+  const Result r = solver.solve();
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, -3.0, 1e-9);
+  EXPECT_GE(r.stats.callback_candidates, 1u);
+  EXPECT_EQ(r.stats.callback_accepted, 0u);
+  EXPECT_GE(r.stats.callback_rejected, 1u);
+}
+
+TEST(MilpRobustness, InfeasibleBranchNodesAreClosed) {
+  // 2a + 2b = 3 is LP-feasible (a = 1, b = 0.5) but has no binary point:
+  // both subtrees of the first branch die as infeasible *nodes*, not at
+  // the root.
+  Problem p;
+  const VarId a = p.add_variable(0, 1, 1.0);
+  const VarId b = p.add_variable(0, 1, 1.0);
+  p.add_row(3.0, 3.0, {{a, 2.0}, {b, 2.0}});
+  Options opts;
+  opts.relative_gap = 0.0;
+  Solver solver(std::move(p), {a, b}, opts);
+  const Result r = solver.solve();
+  EXPECT_EQ(r.status, Status::kInfeasible);
+  EXPECT_GE(r.stats.infeasible_nodes, 2u);
+  EXPECT_GE(r.nodes, 3u);  // root + both children explored
+}
+
+TEST(MilpRobustness, UnboundedRelaxationTerminates) {
+  // The continuous direction is unbounded regardless of the binary, so no
+  // node LP ever converges.  The solver must terminate (blind-branching
+  // until every integer is fixed) without claiming optimality or crashing.
+  Problem p;
+  const VarId a = p.add_variable(0, 1, 1.0);
+  const VarId y = p.add_variable(0.0, kInfinity, -1.0);
+  p.add_row(-kInfinity, 1.0, {{a, 1.0}});
+  Options opts;
+  opts.relative_gap = 0.0;
+  Solver solver(std::move(p), {a}, opts);
+  const Result r = solver.solve();
+  EXPECT_NE(r.status, Status::kOptimal);
+  EXPECT_LE(r.nodes, 8u);
+  (void)y;
 }
 
 TEST(MilpRobustness, RepeatedSolvesAreIndependent) {

@@ -1,0 +1,218 @@
+// Determinism-by-construction regressions for the parallel branch-and-
+// bound (docs/FORMULATION.md): the solver's round-based schedule depends
+// only on round_size, never on the thread count, and every node LP is a
+// pure function of (problem, fixing chain, parent basis).  Consequently
+// solving the same instance with 1, 2, 4, or hardware_concurrency threads
+// must return bit-identical results — not merely equal objectives, but the
+// exact incumbent vector, bound, node count, pivot count, and round count.
+
+#include "milp/branch_and_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gen/daggen.hpp"
+#include "mapping/milp_mapper.hpp"
+#include "support/rng.hpp"
+
+namespace cellstream::milp {
+namespace {
+
+using lp::Coefficient;
+using lp::kInfinity;
+using lp::Problem;
+using lp::VarId;
+
+// A knapsack whose gap-0 tree is a few dozen nodes: enough rounds that a
+// scheduling bug would actually show, small enough to run at four thread
+// counts inside a unit test.
+Problem knapsack_problem(std::uint64_t seed, int n,
+                         std::vector<VarId>* ints) {
+  Rng rng(seed);
+  Problem p;
+  std::vector<Coefficient> row;
+  for (int i = 0; i < n; ++i) {
+    ints->push_back(p.add_variable(0.0, 1.0, -rng.uniform(1.0, 10.0)));
+    row.push_back({ints->back(), rng.uniform(1.0, 6.0)});
+  }
+  p.add_row(-kInfinity, 0.35 * 6.0 * n, row);
+  return p;
+}
+
+Result solve_knapsack(std::uint64_t seed, std::size_t threads) {
+  std::vector<VarId> ints;
+  Problem p = knapsack_problem(seed, 14, &ints);
+  Options opts;
+  opts.relative_gap = 0.0;
+  opts.threads = threads;
+  Solver solver(std::move(p), ints, opts);
+  return solver.solve();
+}
+
+void expect_bit_identical(const Result& a, const Result& b,
+                          std::size_t threads) {
+  ASSERT_EQ(a.status, b.status) << threads << " threads";
+  EXPECT_EQ(a.objective, b.objective) << threads << " threads";
+  EXPECT_EQ(a.x, b.x) << threads << " threads";
+  EXPECT_EQ(a.best_bound, b.best_bound) << threads << " threads";
+  EXPECT_EQ(a.nodes, b.nodes) << threads << " threads";
+  EXPECT_EQ(a.lp_iterations, b.lp_iterations) << threads << " threads";
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds) << threads << " threads";
+  EXPECT_EQ(a.stats.warm_start_hits, b.stats.warm_start_hits)
+      << threads << " threads";
+  EXPECT_EQ(a.stats.pruned_by_bound, b.stats.pruned_by_bound)
+      << threads << " threads";
+  EXPECT_EQ(a.stats.integral_leaves, b.stats.integral_leaves)
+      << threads << " threads";
+}
+
+TEST(ParallelDeterminism, KnapsackBitIdenticalAcrossThreadCounts) {
+  for (std::uint64_t seed : {11u, 29u, 47u}) {
+    const Result reference = solve_knapsack(seed, 1);
+    ASSERT_EQ(reference.status, Status::kOptimal) << "seed " << seed;
+    ASSERT_GT(reference.nodes, 3u) << "seed " << seed;  // a real tree
+    for (std::size_t threads : {2u, 4u, 8u}) {
+      expect_bit_identical(reference, solve_knapsack(seed, threads), threads);
+    }
+    // threads == 0 means hardware concurrency; still bit-identical.
+    expect_bit_identical(reference, solve_knapsack(seed, 0), 0);
+  }
+}
+
+TEST(ParallelDeterminism, GroupsAndRoundingCallbackStayDeterministic) {
+  // Generalized assignment with exactly-one groups and a rounding callback
+  // — the callback runs on worker threads when threads > 1, so this also
+  // exercises the commit-order validation path under real concurrency.
+  const auto solve_with = [](std::size_t threads) {
+    Rng rng(321);
+    const int tasks = 7, machines = 3;
+    Problem p;
+    std::vector<std::vector<VarId>> var(tasks, std::vector<VarId>(machines));
+    std::vector<VarId> ints;
+    for (int t = 0; t < tasks; ++t) {
+      for (int m = 0; m < machines; ++m) {
+        var[t][m] = p.add_variable(0.0, 1.0, rng.uniform(1.0, 9.0));
+        ints.push_back(var[t][m]);
+      }
+    }
+    std::vector<std::vector<double>> load(tasks,
+                                          std::vector<double>(machines));
+    for (int t = 0; t < tasks; ++t) {
+      std::vector<Coefficient> row;
+      for (int m = 0; m < machines; ++m) {
+        load[t][m] = rng.uniform(1.0, 4.0);
+        row.push_back({var[t][m], 1.0});
+      }
+      p.add_row(1.0, 1.0, row);
+    }
+    for (int m = 0; m < machines; ++m) {
+      std::vector<Coefficient> row;
+      for (int t = 0; t < tasks; ++t) row.push_back({var[t][m], load[t][m]});
+      p.add_row(-kInfinity, 9.0, row);
+    }
+    const Problem frozen = p;  // callback needs the pre-move copy
+    Options opts;
+    opts.relative_gap = 0.0;
+    opts.threads = threads;
+    Solver solver(std::move(p), ints, opts);
+    for (int t = 0; t < tasks; ++t) {
+      std::vector<VarId> group;
+      for (int m = 0; m < machines; ++m) group.push_back(var[t][m]);
+      solver.add_exactly_one_group(group);
+    }
+    // Pure, thread-safe rounding: assign each task to its largest alpha.
+    solver.set_rounding_callback(
+        [&frozen, &var, tasks, machines](const std::vector<double>& x)
+            -> std::optional<Candidate> {
+          std::vector<double> rounded(x.size(), 0.0);
+          for (int t = 0; t < tasks; ++t) {
+            int best = 0;
+            for (int m = 1; m < machines; ++m) {
+              if (x[var[t][m]] > x[var[t][best]]) best = m;
+            }
+            rounded[var[t][best]] = 1.0;
+          }
+          if (frozen.max_violation(rounded) > 1e-9) return std::nullopt;
+          return Candidate{frozen.objective_value(rounded),
+                           std::move(rounded)};
+        });
+    return solver.solve();
+  };
+
+  const Result reference = solve_with(1);
+  ASSERT_EQ(reference.status, Status::kOptimal);
+  for (std::size_t threads : {2u, 4u}) {
+    expect_bit_identical(reference, solve_with(threads), threads);
+  }
+}
+
+TEST(ParallelDeterminism, SmallRoundSizeMatchesAcrossThreadCounts) {
+  // round_size below the thread count: rounds have fewer nodes than
+  // workers, exercising the nthreads = min(threads, k) clamp.
+  std::vector<VarId> ints;
+  Problem p = knapsack_problem(11, 14, &ints);
+  Options opts;
+  opts.relative_gap = 0.0;
+  opts.round_size = 2;
+  opts.threads = 1;
+  Result reference;
+  {
+    std::vector<VarId> ints1;
+    Problem p1 = knapsack_problem(11, 14, &ints1);
+    Solver solver(std::move(p1), ints1, opts);
+    reference = solver.solve();
+  }
+  ASSERT_EQ(reference.status, Status::kOptimal);
+  opts.threads = 8;
+  Solver solver(std::move(p), ints, opts);
+  expect_bit_identical(reference, solver.solve(), 8);
+}
+
+TEST(ParallelDeterminism, MilpMapperBitIdenticalAcrossThreads) {
+  // The full mapping stack (formulation + groups + priorities + rounding
+  // callback + heuristic seeding) through MilpMapperOptions::with_threads,
+  // i.e. exactly what differential rule D5 checks inside the fuzz driver.
+  gen::DagGenParams params;
+  params.task_count = 8;
+  params.seed = 3;
+  TaskGraph graph = gen::daggen_random(params);
+  gen::set_ccr(graph, 0.775);
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_single_cell());
+
+  mapping::MilpMapperOptions opts;
+  opts.milp.relative_gap = 0.0;
+  const mapping::MilpMapperResult seq =
+      mapping::solve_optimal_mapping(analysis, opts);
+  ASSERT_EQ(seq.status, Status::kOptimal);
+  const mapping::MilpMapperResult par =
+      mapping::solve_optimal_mapping(analysis, opts.with_threads(4));
+  ASSERT_EQ(par.status, Status::kOptimal);
+  EXPECT_TRUE(par.mapping == seq.mapping);
+  EXPECT_EQ(par.period, seq.period);
+  EXPECT_EQ(par.best_bound, seq.best_bound);
+  EXPECT_EQ(par.nodes, seq.nodes);
+  EXPECT_EQ(par.lp_iterations, seq.lp_iterations);
+  EXPECT_EQ(par.stats.rounds, seq.stats.rounds);
+}
+
+TEST(ParallelDeterminism, StatsAreInternallyConsistent) {
+  const Result r = solve_knapsack(29, 4);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_EQ(r.stats.nodes, r.nodes);
+  EXPECT_EQ(r.stats.lp_iterations, r.lp_iterations);
+  EXPECT_EQ(r.stats.warm_start_hits + r.stats.warm_start_misses, r.nodes);
+  EXPECT_GE(r.stats.rounds, 1u);
+  EXPECT_GE(r.stats.max_open_size, 1u);
+  EXPECT_GE(r.stats.threads_used, 1u);
+  EXPECT_LE(r.stats.threads_used, 4u);
+  // Leaves and infeasible nodes are committed nodes; pruned_by_bound may
+  // exceed the committed count because the sweep also closes open-list
+  // entries that were never solved.
+  EXPECT_LE(r.stats.integral_leaves + r.stats.infeasible_nodes,
+            r.stats.nodes);
+}
+
+}  // namespace
+}  // namespace cellstream::milp

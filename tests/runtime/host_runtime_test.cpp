@@ -207,6 +207,89 @@ TEST(HostRuntime, TaskExceptionPropagates) {
                std::runtime_error);
 }
 
+TEST(HostRuntime, TaskExceptionAcrossPesShutsDownAllWorkers) {
+  // The failing task runs on its own PE while producer and consumer occupy
+  // two others.  When it throws, the peers are typically asleep on the
+  // buffer condition variable (the consumer starved, the producer
+  // eventually back-pressured); the runtime must wake and join every
+  // worker, then rethrow the task's exception — not deadlock, and not
+  // std::terminate from a leaked exception in a thread body.
+  TaskGraph g("boom3");
+  g.add_task(make_task());
+  g.add_task(make_task());
+  g.add_task(make_task());
+  g.add_edge(0, 1, 64.0);
+  g.add_edge(1, 2, 64.0);
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  Mapping m(3, 0);
+  m.assign(1, 1);
+  m.assign(2, 2);
+
+  std::atomic<std::int64_t> consumed{0};
+  std::vector<TaskFunction> tasks = {
+      [](const TaskInputs& in) {
+        return std::vector<Packet>{pack(in.instance)};
+      },
+      [](const TaskInputs& in) -> std::vector<Packet> {
+        if (in.instance == 40) throw std::runtime_error("mid-stream failure");
+        return {Packet(*in.inputs[0][0])};
+      },
+      [&](const TaskInputs&) {
+        ++consumed;
+        return std::vector<Packet>{};
+      }};
+  RunOptions opts;
+  opts.instances = 5000;
+  try {
+    run_stream(ss, m, tasks, opts);
+    FAIL() << "expected the task exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "mid-stream failure");
+  }
+  // The consumer saw at most the instances that were committed before the
+  // failure; the stream must not have run to completion.
+  EXPECT_LT(consumed.load(), 5000);
+}
+
+TEST(HostRuntime, FirstOfConcurrentFailuresIsPropagated) {
+  // Two independent chains on four PEs, both of which throw.  Whichever
+  // worker records its exception first wins; the other must still drain
+  // cleanly.  Either message is acceptable — the property under test is
+  // that exactly one propagates and the join completes.
+  TaskGraph g("twoboom");
+  for (int i = 0; i < 4; ++i) g.add_task(make_task());
+  g.add_edge(0, 1, 64.0);
+  g.add_edge(2, 3, 64.0);
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  Mapping m(4, 0);
+  for (TaskId t = 0; t < 4; ++t) m.assign(t, t);
+
+  std::vector<TaskFunction> tasks = {
+      [](const TaskInputs& in) {
+        return std::vector<Packet>{pack(in.instance)};
+      },
+      [](const TaskInputs& in) -> std::vector<Packet> {
+        if (in.instance == 10) throw std::runtime_error("chain A failed");
+        return {};
+      },
+      [](const TaskInputs& in) {
+        return std::vector<Packet>{pack(in.instance)};
+      },
+      [](const TaskInputs& in) -> std::vector<Packet> {
+        if (in.instance == 10) throw std::runtime_error("chain B failed");
+        return {};
+      }};
+  RunOptions opts;
+  opts.instances = 2000;
+  try {
+    run_stream(ss, m, tasks, opts);
+    FAIL() << "expected a task exception to propagate";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_TRUE(what == "chain A failed" || what == "chain B failed") << what;
+  }
+}
+
 TEST(HostRuntime, WrongOutputArityIsAnError) {
   TaskGraph g("pair");
   g.add_task(make_task());
