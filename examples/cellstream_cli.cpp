@@ -15,9 +15,13 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "check/invariants.hpp"
 #include "gen/daggen.hpp"
+#include "obs/report.hpp"
+#include "report/stats_io.hpp"
+#include "support/json.hpp"
 #include "support/strings.hpp"
 #include "mapping/heuristics.hpp"
 #include "mapping/annealing.hpp"
@@ -54,7 +58,15 @@ int usage() {
                "[instances] [trace.json]\n"
                "  cellstream_cli schedule <graph-file> <mapping-file>\n"
                "  cellstream_cli check    <graph-file> <mapping-file> "
-               "[instances]\n");
+               "[instances]\n"
+               "  cellstream_cli stats    <graph-file> <mapping-file> "
+               "[instances] [json|csv] [--validate]\n"
+               "      simulate and print the telemetry report "
+               "(docs/OBSERVABILITY.md);\n"
+               "      --validate: schema-check the emitted JSON and require "
+               "the\n"
+               "      predicted-vs-observed cross-check (invariant I7) to "
+               "pass\n");
   return 2;
 }
 
@@ -191,6 +203,61 @@ int cmd_check(int argc, char** argv) {
   return report.ok() ? 0 : 1;
 }
 
+int cmd_stats(int argc, char** argv) {
+  bool validate = false;
+  std::vector<std::string> positional;
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--validate") {
+      validate = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 2) return usage();
+  const TaskGraph graph = TaskGraph::from_text(read_file(positional[0]));
+  const Mapping mapping = Mapping::from_text(read_file(positional[1]));
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_single_cell());
+  sim::SimOptions options;
+  if (positional.size() > 2) {
+    options.instances =
+        static_cast<std::size_t>(std::atoi(positional[2].c_str()));
+  }
+  const std::string format = positional.size() > 3 ? positional[3] : "json";
+  CS_ENSURE(format == "json" || format == "csv",
+            "stats: unknown format '" + format + "' (json or csv)");
+
+  const sim::SimResult run = sim::simulate(analysis, mapping, options);
+  const obs::Report report = obs::build_report(analysis, mapping, run.counters);
+  const std::string json_text = report::stats_json(report);
+  std::fputs(format == "csv" ? report::stats_csv(report).c_str()
+                             : json_text.c_str(),
+             stdout);
+
+  int rc = 0;
+  if (validate) {
+    // Round-trip the emitted JSON through the parser and the schema
+    // checker, then require the I7 cross-check verdict to be green.
+    const json::Value document = json::Value::parse(json_text);
+    for (const std::string& problem :
+         report::validate_stats_json(document)) {
+      std::fprintf(stderr, "schema: %s\n", problem.c_str());
+      rc = 1;
+    }
+    if (!report.crosscheck_applicable) {
+      std::fprintf(stderr, "crosscheck: not applicable (no instances?)\n");
+      rc = 1;
+    } else if (!report.crosscheck_ok()) {
+      for (const std::string& detail : report.flagged) {
+        std::fprintf(stderr, "crosscheck: %s\n", detail.c_str());
+      }
+      rc = 1;
+    }
+    std::fprintf(stderr, "stats: %s\n", rc == 0 ? "valid, cross-check OK"
+                                                : "FAILED validation");
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -203,6 +270,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(argc, argv);
     if (command == "schedule") return cmd_schedule(argc, argv);
     if (command == "check") return cmd_check(argc, argv);
+    if (command == "stats") return cmd_stats(argc, argv);
     return usage();
   } catch (const cellstream::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

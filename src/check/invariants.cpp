@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "obs/report.hpp"
 #include "support/strings.hpp"
 
 namespace cellstream::check {
@@ -415,6 +416,22 @@ std::vector<Violation> check_causality(const SteadyStateAnalysis& analysis,
   return out;
 }
 
+std::vector<Violation> check_occupation(const SteadyStateAnalysis& analysis,
+                                        const Mapping& mapping,
+                                        const obs::Counters& counters,
+                                        const InvariantOptions& options) {
+  std::vector<Violation> found;
+  obs::ReportOptions report_options;
+  report_options.occupation_tolerance = options.occupation_tolerance;
+  const obs::Report report =
+      obs::build_report(analysis, mapping, counters, report_options);
+  if (!report.crosscheck_applicable) return found;
+  for (const std::string& detail : report.flagged) {
+    found.push_back({"occupation", detail});
+  }
+  return found;
+}
+
 InvariantReport check_invariants(const SteadyStateAnalysis& analysis,
                                  const Mapping& mapping,
                                  const sim::SimResult& result,
@@ -429,6 +446,7 @@ InvariantReport check_invariants(const SteadyStateAnalysis& analysis,
   take(check_throughput_bound(analysis, mapping, result, options));
   take(check_completion_order(result));
   take(check_local_store(analysis, mapping));
+  take(check_occupation(analysis, mapping, result.counters, options));
   if (!result.trace.empty()) {
     report.trace_checked = true;
     report.trace_events_seen = result.trace.size();

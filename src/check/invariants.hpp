@@ -18,10 +18,17 @@
 //                            firstPeriod(T_k)) bytes at either endpoint,
 //   I6  causality            no task instance starts before all the data
 //                            it consumes (including peek look-ahead) has
-//                            been produced and, for remote edges, fetched.
+//                            been produced and, for remote edges, fetched,
+//   I7  occupation           no resource's observed per-instance occupation
+//                            (PE compute seconds; interface bytes/bandwidth
+//                            per direction) exceeds the steady-state
+//                            prediction beyond tolerance, and no DMA-queue
+//                            peak exceeds the hardware depth (obs::Report's
+//                            predicted-vs-observed cross-check).
 //
 // I1-I3 need only the SimResult; I4-I6 replay the execution trace
-// (SimOptions::record_trace) against the analysis.  Each checker returns
+// (SimOptions::record_trace) against the analysis; I7 consumes the
+// telemetry counters every simulated run carries.  Each checker returns
 // the violations it found — an empty vector is a pass — so tests can
 // exercise them one by one with hand-built traces.
 
@@ -29,6 +36,7 @@
 #include <vector>
 
 #include "core/steady_state.hpp"
+#include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
@@ -46,6 +54,9 @@ struct InvariantOptions {
   double throughput_tolerance = 0.02;
   /// Absolute slack in simulated seconds for time comparisons (I6).
   double time_epsilon = 1e-12;
+  /// Slack on I7: observed per-instance occupation may exceed the model's
+  /// prediction by this fraction (matches ReportOptions default).
+  double occupation_tolerance = 0.05;
 };
 
 /// Aggregated result of check_invariants.
@@ -97,6 +108,17 @@ std::vector<Violation> check_causality(const SteadyStateAnalysis& analysis,
                                        const Mapping& mapping,
                                        const std::vector<sim::TraceEvent>& trace,
                                        const InvariantOptions& options = {});
+
+/// I7: build the obs::Report for `counters` and flag every resource whose
+/// observed occupation per instance exceeds the steady-state prediction by
+/// more than options.occupation_tolerance, plus any DMA-queue peak above
+/// the hardware depth.  Skipped (empty result) for wall-clock counters or
+/// runs that completed no instance — the cross-check compares against
+/// *modeled* time, which only the simulator produces.
+std::vector<Violation> check_occupation(const SteadyStateAnalysis& analysis,
+                                        const Mapping& mapping,
+                                        const obs::Counters& counters,
+                                        const InvariantOptions& options = {});
 
 /// Run every invariant against a simulated run.  Trace-based checks are
 /// skipped (report.trace_checked == false) when result.trace is empty.

@@ -390,4 +390,22 @@ MilpMapperResult solve_optimal_mapping(const SteadyStateAnalysis& analysis,
   return out;
 }
 
+obs::SolverStats solver_stats(const MilpMapperResult& result) {
+  obs::SolverStats out;
+  out.present = true;
+  out.status = milp::to_string(result.status);
+  out.nodes = result.nodes;
+  out.rounds = result.stats.rounds;
+  out.lp_iterations = result.lp_iterations;
+  out.threads = result.stats.threads_used;
+  out.objective = result.period;
+  out.best_bound = result.best_bound;
+  out.gap = result.gap;
+  out.solve_seconds = result.solve_seconds;
+  out.incumbents.reserve(result.stats.incumbents.size());
+  for (const auto& p : result.stats.incumbents)
+    out.incumbents.push_back({p.round, p.nodes, p.objective});
+  return out;
+}
+
 }  // namespace cellstream::mapping

@@ -20,6 +20,7 @@
 #include "core/steady_state.hpp"
 #include "lp/problem.hpp"
 #include "milp/branch_and_bound.hpp"
+#include "obs/recorder.hpp"
 
 namespace cellstream::mapping {
 
@@ -89,5 +90,10 @@ struct MilpMapperResult {
 /// mapping, so this only happens on pathological limit settings).
 MilpMapperResult solve_optimal_mapping(const SteadyStateAnalysis& analysis,
                                        const MilpMapperOptions& options = {});
+
+/// Repackage a mapper result's search statistics for the telemetry layer
+/// (obs::Report / `cellstream_cli stats`).  milp itself stays independent
+/// of obs; this adapter is the only coupling point.
+obs::SolverStats solver_stats(const MilpMapperResult& result);
 
 }  // namespace cellstream::mapping

@@ -190,6 +190,10 @@ bool Solver::try_incumbent(const Candidate& candidate) {
   has_incumbent_ = true;
   incumbent_obj_ = true_obj;
   incumbent_x_ = candidate.x;
+  // Trajectory point for the telemetry layer.  try_incumbent only runs on
+  // the sequential commit thread (or before solve(), for the initial
+  // incumbent), so the stamp is deterministic for every thread count.
+  stats_.incumbents.push_back({stats_.rounds, nodes_, true_obj});
   return true;
 }
 
@@ -385,6 +389,9 @@ Result Solver::solve() {
   have_root_bound_ = false;
   root_bound_ = 0.0;
   stats_ = SearchStats{};
+  // An incumbent seeded before solve() (add_initial_incumbent, or a
+  // previous solve) is the trajectory's origin; restore it after the reset.
+  if (has_incumbent_) stats_.incumbents.push_back({0, 0, incumbent_obj_});
   next_seq_ = 0;
   open_.clear();
 

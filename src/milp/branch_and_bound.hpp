@@ -87,6 +87,18 @@ struct SearchStats {
   std::size_t callback_rejected = 0;  ///< Invalid / distrusted proposals.
   std::size_t max_open_size = 0;
   std::size_t threads_used = 1;  ///< Peak concurrent node solvers.
+
+  /// One accepted incumbent improvement.  Stamped with the search
+  /// position (round / committed nodes) rather than wall time so the
+  /// trajectory is bit-identical for every thread count, like the rest
+  /// of the round-based search.
+  struct Incumbent {
+    std::size_t round = 0;   ///< 0: initial incumbent, before round 1.
+    std::size_t nodes = 0;   ///< Nodes committed when it was accepted.
+    double objective = 0.0;  ///< The improved (minimization) objective.
+  };
+  /// Incumbent trajectory, strictly improving in objective.
+  std::vector<Incumbent> incumbents;
 };
 
 struct Result {

@@ -1,0 +1,164 @@
+#pragma once
+// Unified runtime telemetry: low-overhead per-PE counters recorded by
+// both execution engines (sim::Simulator in simulated time,
+// runtime::HostRuntime in wall time) behind one Recorder interface, plus
+// the solver search statistics the MILP mapper exports.
+//
+// The Recorder itself is a plain, unsynchronized accumulator — the
+// single-threaded simulator records directly into it on every event.
+// Multi-threaded producers (host-runtime workers) accumulate into a
+// worker-local PeCounters and publish it through flush_pe() exactly once
+// at worker exit, under the caller's lock; flush_pe() enforces the
+// exactly-once contract so a double flush (or a torn read concurrent
+// with one) is a caught bug, not silently doubled numbers.
+//
+// The resulting Counters feed obs::Report (predicted-vs-observed
+// occupation cross-check, invariant I7) and the JSON/CSV stats exports
+// (src/report/stats_io).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/cell.hpp"
+
+namespace cellstream::obs {
+
+/// Which clock the counters were recorded against.  Occupation
+/// cross-checks against the steady-state model only apply to simulated
+/// time (host wall time measures the host machine, not the modeled Cell).
+enum class TimeDomain : std::uint8_t {
+  kSimulated,  ///< sim::Simulator — seconds of modeled Cell time.
+  kWall,       ///< runtime::HostRuntime — wall seconds since run start.
+};
+
+const char* to_string(TimeDomain domain);
+
+/// Counters of one processing element.
+struct PeCounters {
+  std::uint64_t tasks_executed = 0;  ///< Task instances completed here.
+  double compute_seconds = 0.0;      ///< Time inside task bodies.
+  double overhead_seconds = 0.0;     ///< Dispatch + DMA-issue time.
+  std::uint64_t transfers_issued = 0;  ///< DMAs this PE initiated.
+  /// Bytes crossing this PE's communication interface, per direction.
+  /// Memory reads land on the reader's *in* interface, memory writes on
+  /// the writer's *out* interface (the paper's bounded-multiport model);
+  /// a remote edge counts on the producer's out and the consumer's in.
+  double bytes_in = 0.0;
+  double bytes_out = 0.0;
+  /// Peak outstanding DMA-queue occupancy observed (self-issued MFC
+  /// stack, and the 8-deep proxy stack PPEs use to read this SPE).
+  std::size_t mfc_queue_peak = 0;
+  std::size_t proxy_queue_peak = 0;
+
+  void merge(const PeCounters& other);
+};
+
+/// One engine run's telemetry.
+struct Counters {
+  TimeDomain domain = TimeDomain::kSimulated;
+  std::vector<PeCounters> pe;
+  /// Period timestamps: completion time of each stream instance (the
+  /// moment it left the last task), in the run's time domain.
+  std::vector<double> instance_completion;
+  double elapsed_seconds = 0.0;  ///< Makespan (sim) or wall time (runtime).
+
+  std::uint64_t instances_completed() const {
+    return static_cast<std::uint64_t>(instance_completion.size());
+  }
+  std::uint64_t total_executions() const;
+  std::uint64_t total_transfers() const;
+
+  /// Instances per second over the whole run (0 when nothing ran).
+  double observed_throughput() const;
+  /// Instances per second over the middle half of the stream (pipeline
+  /// fill and drain excluded) — the paper's steady-state measurement.
+  double steady_throughput() const;
+
+  /// Sliding-window throughput samples (the paper's Fig. 6): one
+  /// (instance, instances/s) pair per completed index multiple of
+  /// `stride`, over the trailing `window` instances.
+  std::vector<std::pair<std::size_t, double>> windowed_throughput(
+      std::size_t window = 250, std::size_t stride = 100) const;
+};
+
+/// Accumulates Counters.  See the file comment for the threading model.
+class Recorder {
+ public:
+  Recorder() = default;
+  Recorder(std::size_t pe_count, TimeDomain domain) { reset(pe_count, domain); }
+
+  void reset(std::size_t pe_count, TimeDomain domain);
+
+  std::size_t pe_count() const { return counters_.pe.size(); }
+
+  // -- Single-writer event API (simulator, or a worker-local recorder) ---
+  void on_execution(PeId pe, double compute_seconds) {
+    PeCounters& c = slot(pe);
+    ++c.tasks_executed;
+    c.compute_seconds += compute_seconds;
+  }
+  void on_overhead(PeId pe, double seconds) { slot(pe).overhead_seconds += seconds; }
+  void on_transfer_issued(PeId pe) { ++slot(pe).transfers_issued; }
+  void on_bytes_in(PeId pe, double bytes) { slot(pe).bytes_in += bytes; }
+  void on_bytes_out(PeId pe, double bytes) { slot(pe).bytes_out += bytes; }
+  void on_mfc_queue_depth(PeId pe, std::size_t outstanding) {
+    PeCounters& c = slot(pe);
+    if (outstanding > c.mfc_queue_peak) c.mfc_queue_peak = outstanding;
+  }
+  void on_proxy_queue_depth(PeId pe, std::size_t outstanding) {
+    PeCounters& c = slot(pe);
+    if (outstanding > c.proxy_queue_peak) c.proxy_queue_peak = outstanding;
+  }
+  /// Instances complete in stream order; `time` is in the run's domain.
+  void on_instance_complete(double time) {
+    counters_.instance_completion.push_back(time);
+  }
+  void set_elapsed(double seconds) { counters_.elapsed_seconds = seconds; }
+
+  // -- Multi-threaded publication (host runtime) -------------------------
+  /// Merge a worker's counters into PE `pe`'s slot.  Callers serialize
+  /// flushes with their own lock; the recorder additionally enforces that
+  /// each PE is flushed at most once per run (the runtime's stop/drain
+  /// contract — a retried flush would double every counter).
+  void flush_pe(PeId pe, const PeCounters& delta);
+
+  const Counters& counters() const { return counters_; }
+  /// Move the counters out (the recorder is empty afterwards).
+  Counters take();
+
+ private:
+  PeCounters& slot(PeId pe) {
+    CS_ENSURE(pe < counters_.pe.size(), "obs::Recorder: PE out of range");
+    return counters_.pe[pe];
+  }
+
+  Counters counters_;
+  std::vector<bool> flushed_;
+};
+
+/// Search statistics of one MILP mapper solve, in obs vocabulary so the
+/// report layer does not depend on the solver (mapping::solver_stats
+/// converts milp::SearchStats).
+struct SolverStats {
+  bool present = false;   ///< False when the mapping came from a heuristic.
+  std::string status;     ///< "optimal", "limit-feasible", ...
+  std::size_t nodes = 0;
+  std::size_t rounds = 0;
+  std::size_t lp_iterations = 0;
+  std::size_t threads = 0;
+  double objective = 0.0;
+  double best_bound = 0.0;
+  double gap = 0.0;
+  double solve_seconds = 0.0;
+  /// Incumbent trajectory: each improvement of the best known objective,
+  /// stamped with the deterministic search position it was committed at.
+  struct Incumbent {
+    std::size_t round = 0;  ///< 0 = initial incumbent, before any round.
+    std::size_t nodes = 0;  ///< Nodes committed when it was accepted.
+    double objective = 0.0;
+  };
+  std::vector<Incumbent> incumbents;
+};
+
+}  // namespace cellstream::obs

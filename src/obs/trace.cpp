@@ -1,24 +1,37 @@
-#include "sim/trace.hpp"
+#include "obs/trace.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <ostream>
 #include <sstream>
 
-#include "support/error.hpp"
-
-namespace cellstream::sim {
+namespace cellstream::obs {
 
 namespace {
 
-// Escape the few JSON-special characters our names can contain.
+// Full JSON string escape: quotes, backslashes and *every* control
+// character (task names come from user graph files and from fuzzers —
+// a raw 0x01 or an embedded quote used to produce an unloadable trace).
 std::string json_escape(const std::string& text) {
   std::string out;
   out.reserve(text.size());
-  for (char c : text) {
+  for (unsigned char c : text) {
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       case '\n': out += "\\n"; break;
-      default: out += c;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
     }
   }
   return out;
@@ -40,21 +53,26 @@ void write_chrome_trace(std::ostream& out,
   for (PeId pe = 0; pe < platform.pe_count(); ++pe) {
     emit("{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(pe) +
          ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
-         platform.pe_name(pe) + "\"}}");
+         json_escape(platform.pe_name(pe)) + "\"}}");
     emit("{\"ph\":\"M\",\"pid\":0,\"tid\":" +
          std::to_string(platform.pe_count() + pe) +
          ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
-         platform.pe_name(pe) + " transfers\"}}");
+         json_escape(platform.pe_name(pe)) + " transfers\"}}");
   }
   for (const TraceEvent& e : events) {
-    CS_ENSURE(e.end >= e.start, "write_chrome_trace: negative duration");
+    // Defensive window handling: a non-finite timestamp would render as
+    // "nan"/"inf" (not JSON), so the event is dropped; a negative
+    // duration (end < start) is clamped to a zero-length marker at the
+    // start time.  Either way the file stays loadable.
+    if (!std::isfinite(e.start) || !std::isfinite(e.end)) continue;
+    const double duration = e.end >= e.start ? e.end - e.start : 0.0;
     const std::size_t lane =
         e.kind == TraceEvent::Kind::kCompute ? e.pe
                                              : platform.pe_count() + e.pe;
     std::ostringstream line;
     line << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << lane << ",\"name\":\""
          << json_escape(e.name) << "\",\"ts\":" << e.start * 1e6
-         << ",\"dur\":" << (e.end - e.start) * 1e6
+         << ",\"dur\":" << duration * 1e6
          << ",\"cat\":\""
          << (e.kind == TraceEvent::Kind::kCompute ? "compute" : "transfer")
          << "\"";
@@ -74,4 +92,4 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events,
   return os.str();
 }
 
-}  // namespace cellstream::sim
+}  // namespace cellstream::obs

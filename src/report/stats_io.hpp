@@ -1,0 +1,39 @@
+#pragma once
+// JSON / CSV serialization of the telemetry report (obs::Report).
+//
+// `cellstream_cli stats` and the tests speak these formats; the JSON
+// document carries a schema tag ("cellstream-stats-v1") and
+// validate_stats_json checks a parsed document against that schema, so a
+// consumer can fail fast on version or shape drift instead of reading
+// garbage fields.  The CSV export is the per-resource occupation table
+// only (one row per PE interface direction / compute resource) — handy
+// for spreadsheets and plotting, while JSON is the complete document.
+
+#include <string>
+#include <vector>
+
+#include "obs/report.hpp"
+#include "support/json.hpp"
+
+namespace cellstream::report {
+
+/// Schema tag stamped into (and required from) every stats document.
+inline constexpr const char* kStatsSchema = "cellstream-stats-v1";
+
+/// Build the full JSON document for one run report.
+json::Value stats_to_json(const obs::Report& report);
+
+/// stats_to_json rendered pretty (2-space indent, trailing newline).
+std::string stats_json(const obs::Report& report);
+
+/// Per-resource occupation table as CSV:
+/// resource,pe,kind,predicted_seconds,observed_seconds,ratio
+std::string stats_csv(const obs::Report& report);
+
+/// Check a parsed stats document against the "cellstream-stats-v1"
+/// schema: tag, required sections, field types, and internal consistency
+/// (crosscheck.ok must match crosscheck.flagged).  Returns the problems
+/// found; an empty vector means the document validates.
+std::vector<std::string> validate_stats_json(const json::Value& document);
+
+}  // namespace cellstream::report

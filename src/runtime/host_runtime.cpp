@@ -33,6 +33,20 @@ struct TaskState {
   int peek = 0;
   std::vector<EdgeId> in_edges;   // graph order
   std::vector<EdgeId> out_edges;  // graph order
+  // Telemetry attribution, precomputed: an edge whose endpoints sit on
+  // different PEs crosses both interfaces (producer out, consumer in);
+  // a PE-local edge touches neither.
+  std::vector<bool> in_remote;
+  std::vector<bool> out_remote;
+};
+
+/// Worker-thread-confined telemetry.  Workers touch only their own copy
+/// while running and publish it exactly once at exit (Recorder::flush_pe
+/// under the runtime mutex), so telemetry adds no contention and no
+/// torn reads to the hot path.
+struct WorkerLocal {
+  obs::PeCounters counters;
+  std::vector<obs::TraceEvent> trace;
 };
 
 class Runtime {
@@ -63,21 +77,34 @@ class Runtime {
       state.peek = graph_.task(t).peek;
       state.in_edges = graph_.in_edges(t);
       state.out_edges = graph_.out_edges(t);
+      state.in_remote.reserve(state.in_edges.size());
+      for (EdgeId e : state.in_edges) {
+        state.in_remote.push_back(mapping.pe_of(graph_.edge(e).from) !=
+                                  mapping.pe_of(t));
+      }
+      state.out_remote.reserve(state.out_edges.size());
+      for (EdgeId e : state.out_edges) {
+        state.out_remote.push_back(mapping.pe_of(graph_.edge(e).to) !=
+                                   mapping.pe_of(t));
+      }
       pe_tasks_[mapping.pe_of(t)].push_back(t);
     }
+    recorder_.reset(analysis.platform().pe_count(), obs::TimeDomain::kWall);
   }
 
   RunStats run() {
     const auto start = Clock::now();
+    start_ = start;
     deadline_ = start + std::chrono::duration_cast<Clock::duration>(
                             std::chrono::duration<double>(
                                 opt_.wall_timeout_seconds));
     std::vector<std::thread> workers;
     workers.reserve(pe_tasks_.size());
     try {
-      for (const auto& assigned : pe_tasks_) {
+      for (PeId pe = 0; pe < pe_tasks_.size(); ++pe) {
+        const auto& assigned = pe_tasks_[pe];
         if (assigned.empty()) continue;
-        workers.emplace_back([this, &assigned] { worker(assigned); });
+        workers.emplace_back([this, pe, &assigned] { worker(pe, assigned); });
       }
     } catch (...) {
       // Thread spawn failed mid-way.  Flag the error so already-running
@@ -105,6 +132,10 @@ class Runtime {
       stats.max_buffer_occupancy.push_back(edge.max_occupancy);
     }
     stats.tasks_executed = tasks_executed_;
+    // All workers have joined, so every flush has happened; no lock needed.
+    recorder_.set_elapsed(stats.wall_seconds);
+    stats.counters = recorder_.take();
+    stats.trace = std::move(trace_);
     return stats;
   }
 
@@ -144,7 +175,12 @@ class Runtime {
     return in;
   }
 
-  void commit_locked(TaskId t, std::vector<Packet>&& outputs) {
+  double wall_now_locked() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void commit_locked(TaskId t, std::vector<Packet>&& outputs,
+                     WorkerLocal& local) {
     TaskState& state = states_[t];
     CS_ENSURE(outputs.size() == state.out_edges.size(),
               "run_stream: task '" + graph_.task(t).name + "' returned " +
@@ -152,12 +188,27 @@ class Runtime {
                   std::to_string(state.out_edges.size()) + " output edges");
     for (std::size_t k = 0; k < state.out_edges.size(); ++k) {
       EdgeChannel& edge = edges_[state.out_edges[k]];
+      // A cross-PE packet leaves through the producer's out interface.
+      if (state.out_remote[k]) {
+        local.counters.bytes_out += static_cast<double>(outputs[k].size());
+      }
       edge.packets.push_back(std::move(outputs[k]));
       ++edge.produced;
       edge.max_occupancy =
           std::max(edge.max_occupancy, edge.produced - edge.consumed);
     }
     const std::int64_t i = state.next_instance;
+    // The instance-i packet of every cross-PE input just arrived through
+    // this (consumer) PE's in interface; in the receiver-reads protocol
+    // the consumer also issued the transfer.
+    for (std::size_t k = 0; k < state.in_edges.size(); ++k) {
+      if (!state.in_remote[k]) continue;
+      const Packet* packet = edges_[state.in_edges[k]].packet_at(i);
+      if (packet != nullptr) {
+        local.counters.bytes_in += static_cast<double>(packet->size());
+      }
+      ++local.counters.transfers_issued;
+    }
     ++state.next_instance;
     ++tasks_executed_;
     // Instances <= i of every input are no longer needed: retire them,
@@ -170,6 +221,21 @@ class Runtime {
         ++edge.base;
       }
     }
+    // Instance stamps: instance i is complete once every task has moved
+    // past it.  Only a commit can advance that frontier, so stepping it
+    // here (under the lock) stamps each instance exactly once.
+    while (done_count_ < opt_.instances) {
+      bool complete = true;
+      for (const TaskState& s : states_) {
+        if (s.next_instance <= done_count_) {
+          complete = false;
+          break;
+        }
+      }
+      if (!complete) break;
+      recorder_.on_instance_complete(wall_now_locked());
+      ++done_count_;
+    }
   }
 
   // Top-level worker frame: nothing may escape a std::thread body, so any
@@ -177,9 +243,15 @@ class Runtime {
   // pressure, even the wait itself) is recorded as the run's first failure
   // and every peer is woken to drain.  run() joins all workers and then
   // rethrows that first failure.
-  void worker(const std::vector<TaskId>& assigned) {
+  //
+  // This frame is also the worker's single exit point, so the telemetry
+  // flush below runs exactly once per worker whether the loop completed
+  // the stream, drained after a peer's failure, or threw itself —
+  // Recorder::flush_pe asserts that exactly-once contract.
+  void worker(PeId pe, const std::vector<TaskId>& assigned) {
+    WorkerLocal local;
     try {
-      worker_loop(assigned);
+      worker_loop(pe, assigned, local);
     } catch (...) {
       {
         std::lock_guard<std::mutex> guard(mutex_);
@@ -187,9 +259,13 @@ class Runtime {
       }
       cv_.notify_all();
     }
+    std::lock_guard<std::mutex> guard(mutex_);
+    recorder_.flush_pe(pe, local.counters);
+    trace_.insert(trace_.end(), local.trace.begin(), local.trace.end());
   }
 
-  void worker_loop(const std::vector<TaskId>& assigned) {
+  void worker_loop(PeId pe, const std::vector<TaskId>& assigned,
+                   WorkerLocal& local) {
     std::size_t cursor = 0;
     std::unique_lock<std::mutex> lock(mutex_);
     while (!timed_out_ && failure_ == nullptr) {
@@ -220,10 +296,29 @@ class Runtime {
       TaskInputs inputs = gather_locked(chosen);
       lock.unlock();
       // If the task (or the re-lock) throws, the unique_lock is released
-      // by unwinding and worker() records the failure.
+      // by unwinding and worker() records the failure (and still flushes
+      // whatever `local` accumulated so far).
+      const auto body_start = Clock::now();
       std::vector<Packet> outputs = tasks_[chosen](inputs);
+      const auto body_end = Clock::now();
+      ++local.counters.tasks_executed;
+      local.counters.compute_seconds +=
+          std::chrono::duration<double>(body_end - body_start).count();
+      if (opt_.record_trace) {
+        obs::TraceEvent event;
+        event.kind = obs::TraceEvent::Kind::kCompute;
+        event.name = graph_.task(chosen).name;
+        event.pe = pe;
+        event.src_pe = pe;
+        event.start =
+            std::chrono::duration<double>(body_start - start_).count();
+        event.end = std::chrono::duration<double>(body_end - start_).count();
+        event.instance = inputs.instance;
+        event.task = static_cast<std::int64_t>(chosen);
+        local.trace.push_back(std::move(event));
+      }
       lock.lock();
-      commit_locked(chosen, std::move(outputs));
+      commit_locked(chosen, std::move(outputs), local);
       cv_.notify_all();
     }
   }
@@ -239,10 +334,14 @@ class Runtime {
 
   std::mutex mutex_;
   std::condition_variable cv_;
+  Clock::time_point start_{};
   Clock::time_point deadline_{};
   bool timed_out_ = false;
   std::exception_ptr failure_ = nullptr;
   std::uint64_t tasks_executed_ = 0;
+  std::int64_t done_count_ = 0;
+  obs::Recorder recorder_;              // flushed into under mutex_
+  std::vector<obs::TraceEvent> trace_;  // merged under mutex_ at flush
 };
 
 }  // namespace

@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "core/steady_state.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
 
 namespace cellstream::runtime {
 
@@ -52,6 +54,10 @@ struct RunOptions {
   /// Abort (throw) if the stream has not finished after this many wall
   /// seconds — guards tests against deadlocking task code.
   double wall_timeout_seconds = 120.0;
+  /// Record one obs::TraceEvent per task execution (wall seconds since
+  /// run start) for the chrome-trace writer.  Off by default: tracing a
+  /// long stream costs memory proportional to instances x tasks.
+  bool record_trace = false;
 };
 
 struct RunStats {
@@ -61,6 +67,15 @@ struct RunStats {
   /// analysis' buffer_depth).
   std::vector<std::int64_t> max_buffer_occupancy;
   std::uint64_t tasks_executed = 0;
+  /// Telemetry in the wall-time domain (obs::TimeDomain::kWall): per-PE
+  /// execution counts, measured compute seconds, packet bytes crossing
+  /// each PE boundary, and per-instance completion stamps.  Each worker
+  /// accumulates locally and flushes exactly once at exit — on normal
+  /// completion and on first-failure shutdown alike.
+  obs::Counters counters;
+  /// Per-execution events (empty unless RunOptions::record_trace), wall
+  /// seconds since run start; feed obs::write_chrome_trace.
+  std::vector<obs::TraceEvent> trace;
 };
 
 /// Execute `options.instances` stream instances of the analysis' graph

@@ -55,8 +55,6 @@ struct PeState {
   bool wake_scheduled = false;
   std::size_t gets_outstanding = 0;   // SPE MFC queue (<= spe_dma_slots)
   std::size_t proxy_outstanding = 0;  // PPE-issued reads from this SPE (<= 8)
-  double busy_seconds = 0.0;
-  double overhead_seconds = 0.0;
 };
 
 class Simulator {
@@ -150,7 +148,9 @@ class Simulator {
   std::int64_t done_count_ = 0;
   std::int64_t tasks_at_done_ = 0;
   std::vector<double> completion_times_;
-  std::uint64_t dma_transfers_ = 0;
+  // Unified telemetry (busy/overhead/bytes/queue peaks per PE, period
+  // timestamps) — the single source of truth for SimResult's accounting.
+  obs::Recorder recorder_;
   std::vector<TraceEvent> trace_;
 };
 
@@ -208,6 +208,7 @@ void Simulator::build_state() {
   completion_times_.assign(opt_.instances, 0.0);
   done_count_ = 0;
   tasks_at_done_ = static_cast<std::int64_t>(graph_.task_count());
+  recorder_.reset(platform_.pe_count(), obs::TimeDomain::kSimulated);
 }
 
 void Simulator::wake(PeId pe) {
@@ -232,7 +233,7 @@ void Simulator::step(PeId pe) {
     engine_.schedule_in(opt_.dma_issue_overhead, [this, pe, ch = *channel] {
       PeState& s = pes_[pe];
       s.busy = false;
-      s.overhead_seconds += opt_.dma_issue_overhead;
+      recorder_.on_overhead(pe, opt_.dma_issue_overhead);
       // Re-validate before enqueueing: between the decision and the end of
       // the issue overhead another PE may have consumed the last shared
       // queue slot (two PPEs racing for one SPE's 8-deep proxy stack).
@@ -250,8 +251,8 @@ void Simulator::step(PeId pe) {
     engine_.schedule_in(duration, [this, pe, t = *task] {
       PeState& s = pes_[pe];
       s.busy = false;
-      s.overhead_seconds += opt_.dispatch_overhead;
-      s.busy_seconds += tasks_[t].work;
+      recorder_.on_overhead(pe, opt_.dispatch_overhead);
+      recorder_.on_execution(pe, tasks_[t].work);
       if (opt_.record_trace) {
         TraceEvent ev;
         ev.kind = TraceEvent::Kind::kCompute;
@@ -326,15 +327,21 @@ std::optional<Channel> Simulator::find_issuable(PeId pe) {
 void Simulator::issue(PeId pe, const Channel& channel) {
   PeState& state = pes_[pe];
   const bool is_spe = platform_.is_spe(pe);
-  ++dma_transfers_;
+  recorder_.on_transfer_issued(pe);
   switch (channel.kind) {
     case Channel::Kind::kEdgeFetch: {
       const EdgeId eid = channel.index;
       EdgeState& e = edges_[eid];
       ++e.inflight;
       const bool proxy = !is_spe && platform_.is_spe(e.src);
-      if (is_spe) ++state.gets_outstanding;
-      if (proxy) ++pes_[e.src].proxy_outstanding;
+      if (is_spe) {
+        ++state.gets_outstanding;
+        recorder_.on_mfc_queue_depth(pe, state.gets_outstanding);
+      }
+      if (proxy) {
+        ++pes_[e.src].proxy_outstanding;
+        recorder_.on_proxy_queue_depth(e.src, pes_[e.src].proxy_outstanding);
+      }
       const double t0 = engine_.now();
       const std::int64_t inst = e.fetched + e.inflight - 1;
       start_edge_transfer(e, pe, [this, eid, pe, proxy, t0, inst] {
@@ -343,6 +350,10 @@ void Simulator::issue(PeId pe, const Channel& channel) {
         ++edge.fetched;  // consumer has the data; producer slot unlocked
         if (platform_.is_spe(pe)) --pes_[pe].gets_outstanding;
         if (proxy) --pes_[edge.src].proxy_outstanding;
+        // Interface accounting: a remote edge crosses the producer's out
+        // interface and the consumer's in interface (constraints 1e/1f).
+        recorder_.on_bytes_out(edge.src, edge.bytes);
+        recorder_.on_bytes_in(pe, edge.bytes);
         if (opt_.record_trace) {
           const Edge& ge = graph_.edge(eid);
           TraceEvent ev;
@@ -366,7 +377,10 @@ void Simulator::issue(PeId pe, const Channel& channel) {
       const TaskId tid = channel.index;
       TaskState& t = tasks_[tid];
       ++t.mem_inflight;
-      if (is_spe) ++state.gets_outstanding;
+      if (is_spe) {
+        ++state.gets_outstanding;
+        recorder_.on_mfc_queue_depth(pe, state.gets_outstanding);
+      }
       const double t0 = engine_.now();
       net_.start_transfer(memory_node(), pe, t.read_bytes,
                           [this, tid, pe, t0] {
@@ -374,6 +388,9 @@ void Simulator::issue(PeId pe, const Channel& channel) {
         --task.mem_inflight;
         ++task.mem_fetched;
         if (platform_.is_spe(pe)) --pes_[pe].gets_outstanding;
+        // A memory stream read enters through the reader's in interface
+        // (constraint 1g); main memory itself is unconstrained.
+        recorder_.on_bytes_in(pe, task.read_bytes);
         if (opt_.record_trace) {
           TraceEvent ev;
           ev.kind = TraceEvent::Kind::kTransfer;
@@ -395,13 +412,21 @@ void Simulator::issue(PeId pe, const Channel& channel) {
       const TaskId tid = channel.index;
       TaskState& t = tasks_[tid];
       ++t.writes_started;
-      if (is_spe) ++state.gets_outstanding;
+      if (is_spe) {
+        ++state.gets_outstanding;
+        recorder_.on_mfc_queue_depth(pe, state.gets_outstanding);
+      }
       const double t0 = engine_.now();
       net_.start_transfer(pe, memory_node(), t.write_bytes,
                           [this, tid, pe, t0] {
         TaskState& task = tasks_[tid];
         ++task.writes_done;
         if (platform_.is_spe(pe)) --pes_[pe].gets_outstanding;
+        // A memory stream write leaves through the writer's *out*
+        // interface (constraint 1h, the bounded-multiport model) — never
+        // through its in interface, and never through the consumer of
+        // some later read.
+        recorder_.on_bytes_out(pe, task.write_bytes);
         if (opt_.record_trace) {
           TraceEvent ev;
           ev.kind = TraceEvent::Kind::kTransfer;
@@ -487,6 +512,7 @@ void Simulator::advance_done_counter(std::int64_t completed_instance) {
   --tasks_at_done_;
   while (tasks_at_done_ == 0) {
     completion_times_[done_count_] = engine_.now();
+    recorder_.on_instance_complete(engine_.now());
     ++done_count_;
     if (done_count_ >= stream_len()) return;
     tasks_at_done_ = 0;
@@ -525,13 +551,15 @@ SimResult Simulator::run() {
   } else {
     result.steady_throughput = result.overall_throughput;
   }
+  recorder_.set_elapsed(result.makespan);
+  result.counters = recorder_.take();
   result.pe_busy_seconds.resize(platform_.pe_count());
   result.pe_overhead_seconds.resize(platform_.pe_count());
   for (PeId pe = 0; pe < platform_.pe_count(); ++pe) {
-    result.pe_busy_seconds[pe] = pes_[pe].busy_seconds;
-    result.pe_overhead_seconds[pe] = pes_[pe].overhead_seconds;
+    result.pe_busy_seconds[pe] = result.counters.pe[pe].compute_seconds;
+    result.pe_overhead_seconds[pe] = result.counters.pe[pe].overhead_seconds;
   }
-  result.dma_transfers = dma_transfers_;
+  result.dma_transfers = result.counters.total_transfers();
   result.trace = std::move(trace_);
   return result;
 }

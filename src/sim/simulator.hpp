@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/steady_state.hpp"
+#include "obs/recorder.hpp"
 #include "sim/trace.hpp"
 
 namespace cellstream::sim {
@@ -65,6 +66,10 @@ struct SimResult {
   std::vector<double> pe_busy_seconds;      ///< Compute time per PE.
   std::vector<double> pe_overhead_seconds;  ///< Dispatch + DMA-issue time.
   std::uint64_t dma_transfers = 0;          ///< Total transfers issued.
+  /// Full telemetry of the run (always recorded; the per-PE vectors above
+  /// are views of it kept for compatibility).  Feeds obs::build_report
+  /// and the predicted-vs-observed cross-check (invariant I7).
+  obs::Counters counters;
   /// Execution trace (empty unless SimOptions::record_trace).
   std::vector<TraceEvent> trace;
 

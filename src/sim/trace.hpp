@@ -1,60 +1,16 @@
 #pragma once
-// Execution traces of the simulated Cell and a chrome://tracing exporter.
-//
-// With SimOptions::record_trace, the simulator logs every computation slot
-// and every DMA transfer.  write_chrome_trace() renders them in the Trace
-// Event Format, so a run can be inspected interactively in any Chromium
-// browser (chrome://tracing) or in Perfetto: one row per processing
-// element with its task executions, plus one row per PE for the transfers
-// it received.
+// Compatibility alias: the execution-trace event type and the
+// chrome://tracing writer moved to the shared observability layer
+// (obs/trace.hpp) so the simulator and the host runtime emit the same
+// events through one exporter.  Existing includes of "sim/trace.hpp" and
+// uses of sim::TraceEvent / sim::write_chrome_trace keep working.
 
-#include <iosfwd>
-#include <string>
-#include <vector>
-
-#include "core/task_graph.hpp"
-#include "platform/cell.hpp"
+#include "obs/trace.hpp"
 
 namespace cellstream::sim {
 
-struct TraceEvent {
-  enum class Kind : std::uint8_t {
-    kCompute,   ///< A task instance executing on a PE.
-    kTransfer,  ///< A DMA transfer (edge fetch / memory read / write).
-  };
-  /// What a kTransfer event moves (kNone for kCompute events).
-  enum class Payload : std::uint8_t {
-    kNone,      ///< Not a transfer.
-    kEdge,      ///< Remote-edge fetch (receiver reads the producer's buffer).
-    kMemRead,   ///< Main-memory stream read of a task.
-    kMemWrite,  ///< Main-memory stream write of a task.
-  };
-  Kind kind = Kind::kCompute;
-  Payload payload = Payload::kNone;
-  std::string name;       ///< Task name or transfer label.
-  /// Executing PE (kCompute), or the PE whose communication phase issued
-  /// the DMA (kTransfer) — the receiver for kEdge/kMemRead, the writer for
-  /// kMemWrite.  The [start, end] window of a transfer is exactly the time
-  /// the command occupies a DMA queue slot of its issuer (SPE MFC stack)
-  /// or, for PPE-issued edge fetches, of the source SPE's proxy stack.
-  PeId pe = 0;
-  PeId src_pe = 0;        ///< Producer-side PE of a kEdge transfer; == pe
-                          ///< for every other event kind.
-  double start = 0.0;     ///< Simulated seconds.
-  double end = 0.0;
-  std::int64_t instance = -1;  ///< Stream instance, when known.
-  std::int64_t edge = -1;      ///< EdgeId for Payload::kEdge.
-  std::int64_t task = -1;      ///< TaskId for kCompute / kMemRead / kMemWrite.
-};
-
-/// Serialize events to the Trace Event Format (JSON array).  `platform`
-/// supplies the thread names ("PPE0", "SPE3 transfers", ...).
-void write_chrome_trace(std::ostream& out,
-                        const std::vector<TraceEvent>& events,
-                        const CellPlatform& platform);
-
-/// Convenience: the JSON as a string.
-std::string chrome_trace_json(const std::vector<TraceEvent>& events,
-                              const CellPlatform& platform);
+using TraceEvent = obs::TraceEvent;
+using obs::chrome_trace_json;
+using obs::write_chrome_trace;
 
 }  // namespace cellstream::sim

@@ -1,0 +1,322 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace cellstream::json {
+
+namespace {
+
+void dump_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(std::string& out, double n) {
+  if (!std::isfinite(n)) {
+    out += "null";  // JSON has no NaN / Infinity
+    return;
+  }
+  // Integers up to 2^53 print without an exponent or fraction.
+  if (n == std::floor(n) && std::abs(n) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", n);
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.*g",
+                std::numeric_limits<double>::max_digits10, n);
+  out += buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    CS_ENSURE(pos_ == text_.size(),
+              "json: trailing characters at offset " + std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + text_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t n = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Value(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Value(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value();
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value out = Value::object();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      expect(':');
+      out.set(key, parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return out;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value out = Value::array();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      out.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return out;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // Encode as UTF-8 (surrogate pairs unsupported: telemetry
+          // documents only escape control characters).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    std::size_t used = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(token, &used);
+    } catch (const std::exception&) {
+      fail("malformed number '" + token + "'");
+    }
+    if (used != token.size()) fail("malformed number '" + token + "'");
+    return Value(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_value(std::string& out, const Value& v, int indent, int depth) {
+  const auto newline = [&](int level) {
+    if (indent < 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * level), ' ');
+  };
+  switch (v.kind()) {
+    case Value::Kind::kNull: out += "null"; return;
+    case Value::Kind::kBool: out += v.as_bool() ? "true" : "false"; return;
+    case Value::Kind::kNumber: dump_number(out, v.as_number()); return;
+    case Value::Kind::kString: dump_string(out, v.as_string()); return;
+    case Value::Kind::kArray: {
+      const auto& items = v.items();
+      if (items.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i != 0) out += ',';
+        newline(depth + 1);
+        dump_value(out, items[i], indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      return;
+    }
+    case Value::Kind::kObject: {
+      const auto& members = v.members();
+      if (members.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i != 0) out += ',';
+        newline(depth + 1);
+        dump_string(out, members[i].first);
+        out += indent < 0 ? ":" : ": ";
+        dump_value(out, members[i].second, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void Value::set(const std::string& key, Value v) {
+  CS_ENSURE(is_object(), "json: set on a non-object");
+  for (Member& m : object_) {
+    if (m.first == key) {
+      m.second = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(v));
+}
+
+bool Value::has(const std::string& key) const {
+  CS_ENSURE(is_object(), "json: has on a non-object");
+  for (const Member& m : object_) {
+    if (m.first == key) return true;
+  }
+  return false;
+}
+
+const Value& Value::at(const std::string& key) const {
+  CS_ENSURE(is_object(), "json: member lookup on a non-object");
+  for (const Member& m : object_) {
+    if (m.first == key) return m.second;
+  }
+  throw Error("json: missing member '" + key + "'");
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_value(out, *this, indent, 0);
+  return out;
+}
+
+Value Value::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace cellstream::json

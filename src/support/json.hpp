@@ -1,0 +1,133 @@
+#pragma once
+// Minimal JSON document model, parser and serializer.
+//
+// The observability layer (src/obs, src/report) exports machine-readable
+// run statistics and the test suite parses them back (round-trip and
+// schema checks), so the repository needs a JSON implementation without
+// taking an external dependency.  This is a deliberately small subset:
+// UTF-8 text, doubles for every number, objects preserving insertion
+// order.  Good enough for telemetry documents; not a general-purpose
+// validator of exotic inputs.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace cellstream::json {
+
+/// One JSON value (tagged union).  Copyable; objects keep key order.
+class Value {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  using Array = std::vector<Value>;
+  using Member = std::pair<std::string, Value>;
+  using Object = std::vector<Member>;
+
+  Value() = default;                      // null
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Value(double n) : kind_(Kind::kNumber), number_(n) {}
+  Value(int n) : Value(static_cast<double>(n)) {}
+  Value(std::int64_t n) : Value(static_cast<double>(n)) {}
+  Value(std::uint64_t n) : Value(static_cast<double>(n)) {}
+  Value(const char* s) : kind_(Kind::kString), string_(s) {}
+  Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+
+  static Value array() {
+    Value v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const {
+    CS_ENSURE(is_bool(), "json: value is not a bool");
+    return bool_;
+  }
+  double as_number() const {
+    CS_ENSURE(is_number(), "json: value is not a number");
+    return number_;
+  }
+  const std::string& as_string() const {
+    CS_ENSURE(is_string(), "json: value is not a string");
+    return string_;
+  }
+  const Array& items() const {
+    CS_ENSURE(is_array(), "json: value is not an array");
+    return array_;
+  }
+  const Object& members() const {
+    CS_ENSURE(is_object(), "json: value is not an object");
+    return object_;
+  }
+
+  /// Array append.
+  void push_back(Value v) {
+    CS_ENSURE(is_array(), "json: push_back on a non-array");
+    array_.push_back(std::move(v));
+  }
+
+  /// Object insert-or-overwrite, preserving first-insertion order.
+  void set(const std::string& key, Value v);
+
+  /// True when the object has `key`.
+  bool has(const std::string& key) const;
+
+  /// Member lookup; throws when missing (use has() to probe).
+  const Value& at(const std::string& key) const;
+
+  /// Array element; throws when out of range.
+  const Value& at(std::size_t index) const {
+    CS_ENSURE(is_array(), "json: indexing a non-array");
+    CS_ENSURE(index < array_.size(), "json: array index out of range");
+    return array_[index];
+  }
+
+  std::size_t size() const {
+    if (is_array()) return array_.size();
+    CS_ENSURE(is_object(), "json: size of a scalar");
+    return object_.size();
+  }
+
+  /// Serialize.  indent < 0: compact one-line form; indent >= 0: pretty,
+  /// `indent` spaces per level.  Numbers round-trip (max_digits10);
+  /// non-finite numbers are emitted as null (JSON has no NaN/Inf).
+  std::string dump(int indent = -1) const;
+
+  /// Parse a complete JSON document; trailing garbage is an error.
+  /// Throws cellstream::Error with position info on malformed input.
+  static Value parse(const std::string& text);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace cellstream::json

@@ -341,7 +341,7 @@ TEST(CheckInvariants, CleanPipelineRunPassesEveryInvariant) {
   const InvariantReport report = check_invariants(analysis, mapping, result);
   EXPECT_TRUE(report.ok()) << report.to_string();
   EXPECT_TRUE(report.trace_checked);
-  EXPECT_EQ(report.checks_run, 6u);
+  EXPECT_EQ(report.checks_run, 7u);
   EXPECT_GT(report.trace_events_seen, 0u);
 }
 
@@ -355,7 +355,94 @@ TEST(CheckInvariants, TraceChecksAreSkippedWithoutATrace) {
   const InvariantReport report = check_invariants(analysis, mapping, result);
   EXPECT_TRUE(report.ok()) << report.to_string();
   EXPECT_FALSE(report.trace_checked);
-  EXPECT_EQ(report.checks_run, 3u);
+  EXPECT_EQ(report.checks_run, 4u);
+}
+
+// -- I7: predicted-vs-observed occupation ----------------------------------
+
+TEST(Occupation, AcceptsHonestSimulatedCounters) {
+  const TaskGraph graph = chain_graph();
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_single_cell());
+  const Mapping mapping(std::vector<PeId>{0, 1});
+  sim::SimOptions options;
+  options.instances = 100;
+  const sim::SimResult result = sim::simulate(analysis, mapping, options);
+  EXPECT_TRUE(
+      check_occupation(analysis, mapping, result.counters).empty());
+}
+
+TEST(Occupation, FlagsTrafficTheModelDoesNotAccountFor) {
+  const TaskGraph graph = chain_graph();
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_single_cell());
+  const Mapping mapping(std::vector<PeId>{0, 1});
+  sim::SimOptions options;
+  options.instances = 100;
+  sim::SimResult result = sim::simulate(analysis, mapping, options);
+  // A misattribution bug: bytes charged to an interface the model never
+  // routes this edge through.
+  result.counters.pe[0].bytes_in += 1e9;
+  const std::vector<Violation> found =
+      check_occupation(analysis, mapping, result.counters);
+  ASSERT_FALSE(found.empty());
+  EXPECT_TRUE(has_invariant(found, "occupation"));
+  // The aggregated oracle reports it too.
+  const InvariantReport report = check_invariants(analysis, mapping, result);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_invariant(report.violations, "occupation"));
+}
+
+TEST(Occupation, ToleranceIsOneSidedAndConfigurable) {
+  const TaskGraph graph = chain_graph();
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_single_cell());
+  const Mapping mapping(std::vector<PeId>{0, 1});
+  sim::SimOptions options;
+  options.instances = 100;
+  sim::SimResult result = sim::simulate(analysis, mapping, options);
+  // Under-use never flags (early finish / better overlap is fine).
+  result.counters.pe[1].bytes_in *= 0.5;
+  EXPECT_TRUE(
+      check_occupation(analysis, mapping, result.counters).empty());
+  // A 4 % excess passes the default 5 % tolerance but fails a 1 % one.
+  sim::SimResult excess = sim::simulate(analysis, mapping, options);
+  excess.counters.pe[1].bytes_in *= 1.04;
+  EXPECT_TRUE(
+      check_occupation(analysis, mapping, excess.counters).empty());
+  InvariantOptions tight;
+  tight.occupation_tolerance = 0.01;
+  EXPECT_FALSE(
+      check_occupation(analysis, mapping, excess.counters, tight).empty());
+}
+
+TEST(Occupation, SkipsWallClockAndEmptyRuns) {
+  const TaskGraph graph = chain_graph();
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_single_cell());
+  const Mapping mapping(std::vector<PeId>{0, 1});
+  sim::SimOptions options;
+  options.instances = 20;
+  sim::SimResult result = sim::simulate(analysis, mapping, options);
+  result.counters.pe[0].bytes_in += 1e12;  // would flag in the sim domain
+  result.counters.domain = obs::TimeDomain::kWall;
+  EXPECT_TRUE(
+      check_occupation(analysis, mapping, result.counters).empty());
+
+  obs::Counters empty;
+  empty.pe.resize(analysis.platform().pe_count());
+  EXPECT_TRUE(check_occupation(analysis, mapping, empty).empty());
+}
+
+TEST(Occupation, FlagsQueuePeaksAboveHardwareDepth) {
+  const TaskGraph graph = chain_graph();
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_single_cell());
+  const Mapping mapping(std::vector<PeId>{0, 1});
+  sim::SimOptions options;
+  options.instances = 20;
+  sim::SimResult result = sim::simulate(analysis, mapping, options);
+  result.counters.pe[1].mfc_queue_peak =
+      analysis.platform().spe_dma_slots + 1;
+  const std::vector<Violation> found =
+      check_occupation(analysis, mapping, result.counters);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_TRUE(has_invariant(found, "occupation"));
 }
 
 }  // namespace

@@ -66,6 +66,17 @@ void expect_bit_identical(const Result& a, const Result& b,
       << threads << " threads";
   EXPECT_EQ(a.stats.integral_leaves, b.stats.integral_leaves)
       << threads << " threads";
+  // The incumbent trajectory is stamped with deterministic search
+  // positions (round, committed nodes), never wall time, so it must be
+  // bit-identical too.
+  ASSERT_EQ(a.stats.incumbents.size(), b.stats.incumbents.size())
+      << threads << " threads";
+  for (std::size_t i = 0; i < a.stats.incumbents.size(); ++i) {
+    EXPECT_EQ(a.stats.incumbents[i].round, b.stats.incumbents[i].round);
+    EXPECT_EQ(a.stats.incumbents[i].nodes, b.stats.incumbents[i].nodes);
+    EXPECT_EQ(a.stats.incumbents[i].objective,
+              b.stats.incumbents[i].objective);
+  }
 }
 
 TEST(ParallelDeterminism, KnapsackBitIdenticalAcrossThreadCounts) {
@@ -212,6 +223,24 @@ TEST(ParallelDeterminism, StatsAreInternallyConsistent) {
   // entries that were never solved.
   EXPECT_LE(r.stats.integral_leaves + r.stats.infeasible_nodes,
             r.stats.nodes);
+}
+
+TEST(ParallelDeterminism, IncumbentTrajectoryIsMonotoneAndEndsAtOptimum) {
+  const Result r = solve_knapsack(29, 4);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  const auto& traj = r.stats.incumbents;
+  ASSERT_FALSE(traj.empty());
+  for (std::size_t i = 1; i < traj.size(); ++i) {
+    // Minimization: every recorded incumbent strictly improves, at a
+    // search position no earlier than its predecessor's.
+    EXPECT_LT(traj[i].objective, traj[i - 1].objective);
+    EXPECT_GE(traj[i].round, traj[i - 1].round);
+    if (traj[i].round == traj[i - 1].round) {
+      EXPECT_GE(traj[i].nodes, traj[i - 1].nodes);
+    }
+  }
+  EXPECT_DOUBLE_EQ(traj.back().objective, r.objective);
+  EXPECT_LE(traj.back().nodes, r.nodes);
 }
 
 }  // namespace

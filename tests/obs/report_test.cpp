@@ -1,0 +1,114 @@
+// The predicted-vs-observed occupation report (invariant I7's engine):
+// green on honest simulated counters, flagging corrupted ones, and
+// inapplicable for wall-clock or empty runs.
+
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/steady_state.hpp"
+#include "sim/simulator.hpp"
+
+namespace cellstream::obs {
+namespace {
+
+struct Fixture {
+  TaskGraph graph{"report-fixture"};
+  Mapping mapping{0, 0};
+
+  Fixture() {
+    graph.add_task({"a", 0.5e-3, 0.4e-3, 0, 1024.0, 0.0, false});
+    graph.add_task({"b", 0.6e-3, 0.3e-3, 0, 0.0, 0.0, false});
+    graph.add_task({"c", 0.4e-3, 0.3e-3, 0, 0.0, 512.0, false});
+    graph.add_edge(0, 1, 4096.0);
+    graph.add_edge(1, 2, 2048.0);
+    mapping = Mapping(3, 0);
+    mapping.assign(1, 1);
+    mapping.assign(2, 2);
+  }
+};
+
+TEST(Report, SimulatedRunCrossChecksGreen) {
+  Fixture f;
+  const SteadyStateAnalysis ss(f.graph, platforms::qs22_single_cell());
+  sim::SimOptions options;
+  options.instances = 300;
+  const sim::SimResult run = sim::simulate(ss, f.mapping, options);
+
+  const Report report = build_report(ss, f.mapping, run.counters);
+  EXPECT_EQ(report.graph, "report-fixture");
+  EXPECT_EQ(report.tasks, 3u);
+  EXPECT_EQ(report.edges, 2u);
+  EXPECT_EQ(report.instances, 300u);
+  EXPECT_TRUE(report.crosscheck_applicable);
+  EXPECT_TRUE(report.crosscheck_ok()) << report.flagged.front();
+  ASSERT_EQ(report.resources.size(), 3u * ss.platform().pe_count());
+  // Each used resource's observation matches the model (ratio ~= 1); the
+  // one-sided check leaves margin only above.
+  for (const ResourceSample& sample : report.resources) {
+    if (sample.predicted > 0.0) {
+      EXPECT_NEAR(sample.ratio(), 1.0, 1e-6) << sample.resource;
+    } else {
+      EXPECT_EQ(sample.observed, 0.0) << sample.resource;
+    }
+  }
+  EXPECT_DOUBLE_EQ(report.predicted_period, ss.usage(f.mapping).period);
+  EXPECT_GT(report.observed_throughput, 0.0);
+  EXPECT_FALSE(report.convergence.empty());
+}
+
+TEST(Report, FlagsInflatedObservedOccupation) {
+  Fixture f;
+  const SteadyStateAnalysis ss(f.graph, platforms::qs22_single_cell());
+  sim::SimOptions options;
+  options.instances = 100;
+  sim::SimResult run = sim::simulate(ss, f.mapping, options);
+
+  // Corrupt the counters the way a misattribution bug would: bytes that
+  // the model never routed through SPE1's out interface.
+  run.counters.pe[1].bytes_out += 1e9;
+  const Report bad = build_report(ss, f.mapping, run.counters);
+  EXPECT_TRUE(bad.crosscheck_applicable);
+  EXPECT_FALSE(bad.crosscheck_ok());
+  ASSERT_EQ(bad.flagged.size(), 1u);
+  EXPECT_NE(bad.flagged[0].find("SPE0 out"), std::string::npos)
+      << bad.flagged[0];
+}
+
+TEST(Report, FlagsDmaQueuePeaksBeyondHardwareDepth) {
+  Fixture f;
+  const SteadyStateAnalysis ss(f.graph, platforms::qs22_single_cell());
+  sim::SimOptions options;
+  options.instances = 50;
+  sim::SimResult run = sim::simulate(ss, f.mapping, options);
+  run.counters.pe[1].mfc_queue_peak = ss.platform().spe_dma_slots + 1;
+  run.counters.pe[2].proxy_queue_peak = ss.platform().ppe_to_spe_dma_slots + 1;
+
+  const Report report = build_report(ss, f.mapping, run.counters);
+  EXPECT_EQ(report.flagged.size(), 2u);
+}
+
+TEST(Report, WallClockCountersAreNotCrossChecked) {
+  Fixture f;
+  const SteadyStateAnalysis ss(f.graph, platforms::qs22_single_cell());
+  sim::SimOptions options;
+  options.instances = 50;
+  sim::SimResult run = sim::simulate(ss, f.mapping, options);
+  run.counters.domain = TimeDomain::kWall;
+  run.counters.pe[0].bytes_in += 1e12;  // would flag in the sim domain
+
+  const Report report = build_report(ss, f.mapping, run.counters);
+  EXPECT_FALSE(report.crosscheck_applicable);
+  EXPECT_TRUE(report.crosscheck_ok());
+}
+
+TEST(Report, RejectsCountersOfTheWrongPlatform) {
+  Fixture f;
+  const SteadyStateAnalysis ss(f.graph, platforms::qs22_single_cell());
+  Counters wrong;
+  wrong.pe.resize(2);  // platform has 9 PEs
+  EXPECT_THROW(build_report(ss, f.mapping, wrong), Error);
+}
+
+}  // namespace
+}  // namespace cellstream::obs

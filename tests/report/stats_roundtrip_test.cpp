@@ -1,0 +1,201 @@
+// Round-trip of the stats exports on the paper's worked example (Fig. 2
+// graph, the mapping with period exactly 1 ms): emit JSON and CSV, parse
+// them back, and check the parsed throughput and occupation numbers
+// against closed-form values — so the export layer cannot silently
+// drop, rename, or garble a field without a test noticing.
+
+#include "report/stats_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "core/steady_state.hpp"
+#include "mapping/milp_mapper.hpp"
+#include "sim/simulator.hpp"
+#include "support/json.hpp"
+
+namespace cellstream::report {
+namespace {
+
+/// The paper's worked example: six tasks, all edges 4 kB, mapped one
+/// task per SPE; the steady-state period is exactly T0's 1.0 ms of SPE
+/// work (see mapping/heuristics_paper_example_test.cpp).
+struct WorkedExample {
+  TaskGraph graph{"paper-worked-example"};
+  Mapping mapping{0, 0};
+  WorkedExample() {
+    graph.add_task({"T0", 1.2e-3, 1.0e-3, 0, 0.0, 0.0, false});
+    graph.add_task({"T1", 1.5e-3, 0.6e-3, 0, 0.0, 0.0, false});
+    graph.add_task({"T2", 1.5e-3, 0.6e-3, 0, 0.0, 0.0, false});
+    graph.add_task({"T3", 1.5e-3, 0.9e-3, 0, 0.0, 0.0, false});
+    graph.add_task({"T4", 1.5e-3, 0.6e-3, 0, 0.0, 0.0, false});
+    graph.add_task({"T5", 1.5e-3, 0.6e-3, 0, 0.0, 0.0, false});
+    graph.add_edge(0, 1, 4096.0);
+    graph.add_edge(0, 2, 4096.0);
+    graph.add_edge(1, 3, 4096.0);
+    graph.add_edge(2, 3, 4096.0);
+    graph.add_edge(3, 4, 4096.0);
+    graph.add_edge(4, 5, 4096.0);
+    mapping = Mapping(6, 0);
+    for (TaskId t = 0; t < 6; ++t) mapping.assign(t, t + 1);
+  }
+};
+
+obs::Report simulate_report(const WorkedExample& ex, std::size_t instances) {
+  const SteadyStateAnalysis ss(ex.graph, platforms::qs22_single_cell());
+  EXPECT_DOUBLE_EQ(ss.period(ex.mapping), 1.0e-3);
+  sim::SimOptions options;
+  options.instances = instances;
+  const sim::SimResult run = sim::simulate(ss, ex.mapping, options);
+  return obs::build_report(ss, ex.mapping, run.counters);
+}
+
+TEST(StatsRoundTrip, JsonParsesBackWithClosedFormValues) {
+  WorkedExample ex;
+  const obs::Report report = simulate_report(ex, 400);
+  const std::string text = stats_json(report);
+
+  const json::Value doc = json::Value::parse(text);
+  const std::vector<std::string> problems = validate_stats_json(doc);
+  for (const std::string& p : problems) ADD_FAILURE() << p;
+  ASSERT_TRUE(problems.empty());
+
+  EXPECT_EQ(doc.at("schema").as_string(), kStatsSchema);
+  EXPECT_EQ(doc.at("graph").at("name").as_string(), "paper-worked-example");
+  EXPECT_EQ(doc.at("graph").at("tasks").as_number(), 6.0);
+  EXPECT_EQ(doc.at("run").at("domain").as_string(), "simulated");
+  EXPECT_EQ(doc.at("run").at("instances").as_number(), 400.0);
+
+  // Closed form: the period is T0's 1.0 ms, so rho_predicted = 1000/s and
+  // the bottleneck is the compute of T0's SPE (PE 1 = "SPE0").
+  EXPECT_DOUBLE_EQ(doc.at("predicted").at("period").as_number(), 1.0e-3);
+  EXPECT_DOUBLE_EQ(doc.at("predicted").at("throughput").as_number(), 1000.0);
+  EXPECT_EQ(doc.at("predicted").at("bottleneck").as_string(),
+            "SPE0 compute");
+  // Observed rho converges on the prediction (overheads cost ~1 %).
+  EXPECT_NEAR(doc.at("observed").at("steady_throughput").as_number(),
+              1000.0, 50.0);
+
+  // The cross-check must be green and internally consistent.
+  EXPECT_TRUE(doc.at("crosscheck").at("applicable").as_bool());
+  EXPECT_TRUE(doc.at("crosscheck").at("ok").as_bool());
+  EXPECT_EQ(doc.at("crosscheck").at("flagged").size(), 0u);
+
+  // Occupation sums: total predicted compute seconds per instance equal
+  // the sum of the mapped work (1.0 + 0.6 x 4 + 0.9 ms = 4.3 ms), and
+  // every per-resource observation sits within tolerance of prediction.
+  double predicted_compute = 0.0;
+  for (const json::Value& r : doc.at("resources").items()) {
+    const double predicted = r.at("predicted_seconds").as_number();
+    const double observed = r.at("observed_seconds").as_number();
+    if (r.at("kind").as_string() == "compute") predicted_compute += predicted;
+    EXPECT_LE(observed, predicted * 1.05 + 1e-12)
+        << r.at("resource").as_string();
+  }
+  EXPECT_NEAR(predicted_compute, 4.3e-3, 1e-15);
+
+  // Solver section: null for a hand-built mapping.
+  EXPECT_TRUE(doc.at("solver").is_null());
+}
+
+TEST(StatsRoundTrip, CsvParsesBackConsistentWithJson) {
+  WorkedExample ex;
+  const obs::Report report = simulate_report(ex, 200);
+  const std::string csv = stats_csv(report);
+
+  std::istringstream lines(csv);
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_EQ(header,
+            "resource,pe,kind,predicted_seconds,observed_seconds,ratio");
+
+  std::size_t rows = 0;
+  bool saw_bottleneck = false;
+  std::string line;
+  while (std::getline(lines, line)) {
+    ++rows;
+    std::istringstream cells(line);
+    std::string resource, pe, kind, predicted, observed, ratio;
+    ASSERT_TRUE(std::getline(cells, resource, ','));
+    ASSERT_TRUE(std::getline(cells, pe, ','));
+    ASSERT_TRUE(std::getline(cells, kind, ','));
+    ASSERT_TRUE(std::getline(cells, predicted, ','));
+    ASSERT_TRUE(std::getline(cells, observed, ','));
+    ASSERT_TRUE(std::getline(cells, ratio, ','));
+    if (resource == "SPE0 compute") {
+      saw_bottleneck = true;
+      EXPECT_DOUBLE_EQ(std::stod(predicted), 1.0e-3);
+      EXPECT_NEAR(std::stod(ratio), 1.0, 1e-6);
+    }
+  }
+  // One row per PE per direction/compute.
+  const std::size_t pe_count = platforms::qs22_single_cell().pe_count();
+  EXPECT_EQ(rows, 3u * pe_count);
+  EXPECT_TRUE(saw_bottleneck);
+  EXPECT_EQ(report.resources.size(), rows);
+}
+
+TEST(StatsRoundTrip, SolverSectionRoundTripsForMilpMappings) {
+  WorkedExample ex;
+  const SteadyStateAnalysis ss(ex.graph, platforms::qs22_single_cell());
+  const mapping::MilpMapperResult solved = mapping::solve_optimal_mapping(ss);
+
+  sim::SimOptions options;
+  options.instances = 100;
+  const sim::SimResult run = sim::simulate(ss, solved.mapping, options);
+  obs::Report report = obs::build_report(ss, solved.mapping, run.counters);
+  report.solver = mapping::solver_stats(solved);
+
+  const json::Value doc = json::Value::parse(stats_json(report));
+  const std::vector<std::string> problems = validate_stats_json(doc);
+  for (const std::string& p : problems) ADD_FAILURE() << p;
+
+  const json::Value& solver = doc.at("solver");
+  ASSERT_TRUE(solver.is_object());
+  EXPECT_EQ(solver.at("status").as_string(), milp::to_string(solved.status));
+  EXPECT_EQ(solver.at("nodes").as_number(),
+            static_cast<double>(solved.nodes));
+  EXPECT_DOUBLE_EQ(solver.at("objective").as_number(), solved.period);
+  // The incumbent trajectory made it through: at least one improvement,
+  // each stamped with its deterministic (round, nodes) search position,
+  // objectives strictly improving down to the final incumbent.
+  const json::Value& incumbents = solver.at("incumbents");
+  ASSERT_GT(incumbents.size(), 0u);
+  double prev = std::numeric_limits<double>::infinity();
+  for (const json::Value& inc : incumbents.items()) {
+    EXPECT_GE(inc.at("round").as_number(), 0.0);
+    EXPECT_GE(inc.at("nodes").as_number(), 0.0);
+    EXPECT_LT(inc.at("objective").as_number(), prev);
+    prev = inc.at("objective").as_number();
+  }
+  // The MILP minimizes the period, so the last incumbent is the period
+  // the mapper reports (recomputed by the analysis; 5 % default gap).
+  EXPECT_NEAR(prev, solved.period, 0.05 * solved.period + 1e-12);
+}
+
+TEST(StatsRoundTrip, ValidatorCatchesSchemaDrift) {
+  WorkedExample ex;
+  const obs::Report report = simulate_report(ex, 50);
+  json::Value doc = stats_to_json(report);
+  EXPECT_TRUE(validate_stats_json(doc).empty());
+
+  json::Value wrong_tag = doc;
+  wrong_tag.set("schema", json::Value("cellstream-stats-v0"));
+  EXPECT_FALSE(validate_stats_json(wrong_tag).empty());
+
+  json::Value inconsistent = doc;
+  json::Value crosscheck = json::Value::object();
+  crosscheck.set("applicable", json::Value(true));
+  crosscheck.set("tolerance", json::Value(0.05));
+  crosscheck.set("ok", json::Value(false));  // but nothing flagged
+  crosscheck.set("flagged", json::Value::array());
+  inconsistent.set("crosscheck", std::move(crosscheck));
+  EXPECT_FALSE(validate_stats_json(inconsistent).empty());
+
+  EXPECT_FALSE(validate_stats_json(json::Value(1.0)).empty());
+}
+
+}  // namespace
+}  // namespace cellstream::report

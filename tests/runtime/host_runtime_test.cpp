@@ -368,5 +368,174 @@ TEST(HostRuntime, MilpMappingRunsRealWorkEndToEnd) {
   EXPECT_FALSE(mismatch.load());
 }
 
+// -- Telemetry (obs::Recorder integration) ---------------------------------
+
+TEST(HostRuntime, TelemetryCountsExecutionsAndPacketBytesPerPe) {
+  // source -> mid -> sink over three PEs; every packet is 8 bytes, both
+  // edges are remote, so the byte attribution has a closed form.
+  TaskGraph g("telemetry3");
+  g.add_task(make_task());
+  g.add_task(make_task());
+  g.add_task(make_task());
+  g.add_edge(0, 1, 64.0);
+  g.add_edge(1, 2, 64.0);
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  Mapping m(3, 0);
+  m.assign(1, 1);
+  m.assign(2, 2);
+  std::vector<TaskFunction> tasks = {
+      [](const TaskInputs& in) {
+        return std::vector<Packet>{pack(in.instance)};
+      },
+      [](const TaskInputs& in) {
+        return std::vector<Packet>{Packet(*in.inputs[0][0])};
+      },
+      [](const TaskInputs&) { return std::vector<Packet>{}; }};
+  RunOptions opts;
+  opts.instances = 1000;
+  const RunStats stats = run_stream(ss, m, tasks, opts);
+
+  const auto n = static_cast<std::uint64_t>(opts.instances);
+  const double packet_bytes = 8.0 * static_cast<double>(n);
+  ASSERT_EQ(stats.counters.pe.size(), ss.platform().pe_count());
+  EXPECT_EQ(stats.counters.domain, obs::TimeDomain::kWall);
+  for (PeId pe = 0; pe < 3; ++pe) {
+    EXPECT_EQ(stats.counters.pe[pe].tasks_executed, n) << pe;
+  }
+  EXPECT_EQ(stats.counters.total_executions(), stats.tasks_executed);
+  // Packets leave through the producer's out interface and arrive
+  // through the consumer's in interface; local traffic counts nowhere.
+  EXPECT_DOUBLE_EQ(stats.counters.pe[0].bytes_out, packet_bytes);
+  EXPECT_DOUBLE_EQ(stats.counters.pe[0].bytes_in, 0.0);
+  EXPECT_DOUBLE_EQ(stats.counters.pe[1].bytes_in, packet_bytes);
+  EXPECT_DOUBLE_EQ(stats.counters.pe[1].bytes_out, packet_bytes);
+  EXPECT_DOUBLE_EQ(stats.counters.pe[2].bytes_in, packet_bytes);
+  EXPECT_DOUBLE_EQ(stats.counters.pe[2].bytes_out, 0.0);
+  // Receiver-reads protocol: the consumer issues one transfer per remote
+  // input instance.
+  EXPECT_EQ(stats.counters.pe[1].transfers_issued, n);
+  EXPECT_EQ(stats.counters.pe[2].transfers_issued, n);
+  EXPECT_EQ(stats.counters.total_transfers(), 2 * n);
+  // Every instance got a completion stamp, in nondecreasing wall time.
+  ASSERT_EQ(stats.counters.instances_completed(), n);
+  for (std::size_t i = 1; i < stats.counters.instance_completion.size(); ++i) {
+    EXPECT_GE(stats.counters.instance_completion[i],
+              stats.counters.instance_completion[i - 1]);
+  }
+  EXPECT_GT(stats.counters.elapsed_seconds, 0.0);
+  // Wall-time compute was measured (the sum over 3000 task bodies cannot
+  // be zero on any clock this runtime supports).
+  double total_compute = 0.0;
+  for (const obs::PeCounters& c : stats.counters.pe) {
+    total_compute += c.compute_seconds;
+  }
+  EXPECT_GT(total_compute, 0.0);
+}
+
+TEST(HostRuntime, TelemetryLocalEdgesCountNoInterfaceBytes) {
+  TaskGraph g("local-pair");
+  g.add_task(make_task());
+  g.add_task(make_task());
+  g.add_edge(0, 1, 64.0);
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  std::vector<TaskFunction> tasks = {
+      [](const TaskInputs& in) {
+        return std::vector<Packet>{pack(in.instance)};
+      },
+      [](const TaskInputs&) { return std::vector<Packet>{}; }};
+  RunOptions opts;
+  opts.instances = 200;
+  const RunStats stats = run_stream(ss, ppe_only_mapping(g), tasks, opts);
+  for (const obs::PeCounters& c : stats.counters.pe) {
+    EXPECT_DOUBLE_EQ(c.bytes_in, 0.0);
+    EXPECT_DOUBLE_EQ(c.bytes_out, 0.0);
+    EXPECT_EQ(c.transfers_issued, 0u);
+  }
+  EXPECT_EQ(stats.counters.pe[0].tasks_executed, 400u);
+}
+
+TEST(HostRuntime, TelemetryTraceRecordsEveryExecutionWhenEnabled) {
+  TaskGraph g("traced");
+  g.add_task(make_task());
+  g.add_task(make_task());
+  g.add_edge(0, 1, 64.0);
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  Mapping m(2, 0);
+  m.assign(1, 1);
+  std::vector<TaskFunction> tasks = {
+      [](const TaskInputs& in) {
+        return std::vector<Packet>{pack(in.instance)};
+      },
+      [](const TaskInputs&) { return std::vector<Packet>{}; }};
+  RunOptions opts;
+  opts.instances = 300;
+  opts.record_trace = true;
+  const RunStats stats = run_stream(ss, m, tasks, opts);
+
+  ASSERT_EQ(stats.trace.size(), 2u * 300u);
+  std::vector<std::size_t> per_task(2, 0);
+  for (const obs::TraceEvent& e : stats.trace) {
+    EXPECT_EQ(e.kind, obs::TraceEvent::Kind::kCompute);
+    ASSERT_GE(e.task, 0);
+    ASSERT_LT(e.task, 2);
+    ++per_task[static_cast<std::size_t>(e.task)];
+    EXPECT_EQ(e.pe, m.pe_of(static_cast<TaskId>(e.task)));
+    EXPECT_GE(e.end, e.start);
+    EXPECT_GE(e.start, 0.0);
+    EXPECT_EQ(e.name, g.task(static_cast<TaskId>(e.task)).name);
+  }
+  EXPECT_EQ(per_task[0], 300u);
+  EXPECT_EQ(per_task[1], 300u);
+
+  // The shared writer accepts runtime events (wall-seconds timestamps).
+  const std::string json =
+      obs::chrome_trace_json(stats.trace, ss.platform());
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+
+  // Off by default.
+  RunOptions plain;
+  plain.instances = 10;
+  EXPECT_TRUE(run_stream(ss, m, tasks, plain).trace.empty());
+}
+
+TEST(HostRuntime, TelemetryFlushesExactlyOnceOnFailureShutdown) {
+  // A worker that throws mid-stream still flushes its counters exactly
+  // once, and so does every draining peer: if any worker double-flushed,
+  // Recorder::flush_pe would throw from the flush path and the process
+  // would terminate instead of rethrowing the task's exception.  Run it
+  // several times to give interleavings a chance (and TSan, under the
+  // CELLSTREAM_TSAN build, a race-free execution to certify).
+  TaskGraph g("flaky");
+  g.add_task(make_task());
+  g.add_task(make_task());
+  g.add_task(make_task());
+  g.add_edge(0, 1, 64.0);
+  g.add_edge(1, 2, 64.0);
+  const SteadyStateAnalysis ss(g, platforms::qs22_single_cell());
+  Mapping m(3, 0);
+  m.assign(1, 1);
+  m.assign(2, 2);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<TaskFunction> tasks = {
+        [](const TaskInputs& in) {
+          return std::vector<Packet>{pack(in.instance)};
+        },
+        [](const TaskInputs& in) -> std::vector<Packet> {
+          if (in.instance == 25) throw std::runtime_error("boom");
+          return {Packet(*in.inputs[0][0])};
+        },
+        [](const TaskInputs&) { return std::vector<Packet>{}; }};
+    RunOptions opts;
+    opts.instances = 4000;
+    opts.record_trace = true;
+    try {
+      run_stream(ss, m, tasks, opts);
+      FAIL() << "expected the task exception to propagate";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom");
+    }
+  }
+}
+
 }  // namespace
 }  // namespace cellstream::runtime

@@ -1,0 +1,113 @@
+// The minimal JSON model: build/serialize/parse round trips, parser error
+// reporting, and the escaping rules the telemetry exports rely on.
+
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace cellstream::json {
+namespace {
+
+TEST(Json, BuildsAndDumpsCompactDocuments) {
+  Value doc = Value::object();
+  doc.set("name", Value("x"));
+  doc.set("count", Value(3));
+  doc.set("ok", Value(true));
+  doc.set("nothing", Value());
+  Value list = Value::array();
+  list.push_back(Value(1.5));
+  list.push_back(Value("two"));
+  doc.set("list", std::move(list));
+  EXPECT_EQ(doc.dump(),
+            "{\"name\":\"x\",\"count\":3,\"ok\":true,\"nothing\":null,"
+            "\"list\":[1.5,\"two\"]}");
+}
+
+TEST(Json, SetOverwritesInPlacePreservingOrder) {
+  Value doc = Value::object();
+  doc.set("a", Value(1));
+  doc.set("b", Value(2));
+  doc.set("a", Value(3));
+  EXPECT_EQ(doc.dump(), "{\"a\":3,\"b\":2}");
+  EXPECT_TRUE(doc.has("a"));
+  EXPECT_FALSE(doc.has("missing"));
+  EXPECT_EQ(doc.at("a").as_number(), 3.0);
+}
+
+TEST(Json, ParsesEveryValueKind) {
+  const Value doc = Value::parse(
+      "  { \"s\": \"hi\", \"n\": -2.5e3, \"t\": true, \"f\": false,\n"
+      "    \"z\": null, \"a\": [1, 2, 3], \"o\": {\"k\": \"v\"} }  ");
+  EXPECT_EQ(doc.at("s").as_string(), "hi");
+  EXPECT_EQ(doc.at("n").as_number(), -2500.0);
+  EXPECT_TRUE(doc.at("t").as_bool());
+  EXPECT_FALSE(doc.at("f").as_bool());
+  EXPECT_TRUE(doc.at("z").is_null());
+  ASSERT_EQ(doc.at("a").size(), 3u);
+  EXPECT_EQ(doc.at("a").at(2).as_number(), 3.0);
+  EXPECT_EQ(doc.at("o").at("k").as_string(), "v");
+}
+
+TEST(Json, RoundTripsNumbersExactly) {
+  const double values[] = {0.0,  1.0 / 3.0, 1e-300, -2.5e17, 4096.0,
+                           0.001, 247.64705703723035};
+  for (double v : values) {
+    Value doc = Value::array();
+    doc.push_back(Value(v));
+    const Value back = Value::parse(doc.dump());
+    EXPECT_EQ(back.at(0).as_number(), v) << v;
+  }
+}
+
+TEST(Json, RoundTripsEscapedStrings) {
+  const std::string hostile = "a\"b\\c\nd\te\x01f/\xE2\x82\xAC";
+  Value doc = Value::array();
+  doc.push_back(Value(hostile));
+  const Value back = Value::parse(doc.dump());
+  EXPECT_EQ(back.at(0).as_string(), hostile);
+}
+
+TEST(Json, ParsesUnicodeEscapes) {
+  const Value doc = Value::parse("[\"\\u0041\\u00e9\\u20ac\"]");
+  EXPECT_EQ(doc.at(0).as_string(), "A\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  Value doc = Value::array();
+  doc.push_back(Value(std::numeric_limits<double>::quiet_NaN()));
+  doc.push_back(Value(std::numeric_limits<double>::infinity()));
+  EXPECT_EQ(doc.dump(), "[null,null]");
+}
+
+TEST(Json, PrettyPrintIndents) {
+  Value doc = Value::object();
+  doc.set("a", Value(1));
+  EXPECT_EQ(doc.dump(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Value::parse(""), Error);
+  EXPECT_THROW(Value::parse("{"), Error);
+  EXPECT_THROW(Value::parse("[1,]"), Error);
+  EXPECT_THROW(Value::parse("{\"a\" 1}"), Error);
+  EXPECT_THROW(Value::parse("tru"), Error);
+  EXPECT_THROW(Value::parse("\"unterminated"), Error);
+  EXPECT_THROW(Value::parse("[1] garbage"), Error);
+  EXPECT_THROW(Value::parse("nan"), Error);
+}
+
+TEST(Json, AccessorsEnforceKinds) {
+  const Value number(1.0);
+  EXPECT_THROW(number.as_string(), Error);
+  EXPECT_THROW(number.items(), Error);
+  Value array = Value::array();
+  EXPECT_THROW(array.set("k", Value(1)), Error);
+  EXPECT_THROW(array.at(0), Error);
+  EXPECT_THROW(number.size(), Error);
+}
+
+}  // namespace
+}  // namespace cellstream::json
