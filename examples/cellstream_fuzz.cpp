@@ -21,9 +21,16 @@ int usage() {
   std::fprintf(stderr,
                "usage: cellstream_fuzz [options]\n"
                "  --smoke            bounded CI preset (fixed seed set)\n"
+               "  --faults           bounded fault-injection sweep: every\n"
+               "                     case runs under a random FaultPlan\n"
+               "                     through the failover coordinator and\n"
+               "                     the I8/I9 oracle (fixed seed set)\n"
                "  --cases <n>        number of cases (default 100)\n"
                "  --seed <s>         base seed of the case stream\n"
                "  --instances <n>    stream length per simulation\n"
+               "  --fault-prob <p>   fraction of cases run under faults\n"
+               "                     (default 0; pass 1 when reproducing a\n"
+               "                     '--faults' failure with --case)\n"
                "  --case <seed>      reproduce a single case by its seed\n");
   return 2;
 }
@@ -45,7 +52,15 @@ int main(int argc, char** argv) {
       out_value = static_cast<std::uint64_t>(std::strtoull(text, &end, 10));
       return end != text && *end == '\0';
     };
+    const auto next_double = [&](double& out_value) {
+      if (i + 1 >= argc) return false;
+      const char* text = argv[++i];
+      char* end = nullptr;
+      out_value = std::strtod(text, &end);
+      return end != text && *end == '\0';
+    };
     std::uint64_t value = 0;
+    double fraction = 0.0;
     if (arg == "--smoke") {
       // The CI budget: a fixed, deterministic seed set small enough for
       // the ctest timeout (see tests/CMakeLists.txt) yet >= 100 pipelines.
@@ -53,6 +68,17 @@ int main(int argc, char** argv) {
       options.cases = 120;
       options.instances = 150;
       options.milp_time_limit = 3.0;
+    } else if (arg == "--faults") {
+      // The fault sweep of the acceptance checklist: 200 deterministic
+      // cases, every one exercised under a random FaultPlan (most with a
+      // mid-stream SPE fail-stop) plus the I8/I9 oracle.
+      options.base_seed = 2027;
+      options.cases = 200;
+      options.instances = 150;
+      options.fault_probability = 1.0;
+      options.milp_time_limit = 3.0;
+    } else if (arg == "--fault-prob" && next_double(fraction)) {
+      options.fault_probability = fraction;
     } else if (arg == "--cases" && next_u64(value)) {
       options.cases = static_cast<std::size_t>(value);
     } else if (arg == "--seed" && next_u64(value)) {

@@ -16,6 +16,8 @@ fi
 ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
 ctest --test-dir build -L stats-smoke --output-on-failure 2>&1 \
   | tee /root/repo/stats_smoke_output.txt
+ctest --test-dir build -L fault-smoke --output-on-failure 2>&1 \
+  | tee /root/repo/fault_smoke_output.txt
 build/examples/cellstream_fuzz --smoke 2>&1 | tee /root/repo/fuzz_output.txt
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue

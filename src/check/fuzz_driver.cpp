@@ -3,6 +3,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "fault/failover.hpp"
+#include "fault/fault_plan.hpp"
 #include "gen/daggen.hpp"
 #include "mapping/heuristics.hpp"
 #include "schedule/periodic_schedule.hpp"
@@ -50,6 +52,14 @@ FuzzCase make_case(std::uint64_t case_seed, const FuzzOptions& options) {
       kStrategies[rng.uniform_int(0, std::size(kStrategies) - 1)];
   scenario.platform =
       kPlatforms[rng.uniform_int(0, std::size(kPlatforms) - 1)];
+  // Fault dimension last, and only drawn when enabled: with the default
+  // fault_probability of 0 the rng consumes exactly the draws it always
+  // did, so historical case seeds keep reproducing byte-identically.
+  if (options.fault_probability > 0.0 &&
+      rng.bernoulli(options.fault_probability)) {
+    scenario.with_faults = true;
+    scenario.fault_seed = scenario.case_seed ^ 0xF4017F4017F401ULL;
+  }
   return scenario;
 }
 
@@ -57,7 +67,8 @@ std::string FuzzCase::to_string() const {
   std::ostringstream os;
   os << "case " << case_seed << " (" << task_count << " tasks, ccr " << ccr
      << ", " << strategy << ", " << platform
-     << (differential ? ", differential" : "") << ")";
+     << (differential ? ", differential" : "")
+     << (with_faults ? ", faults" : "") << ")";
   return os.str();
 }
 
@@ -117,20 +128,45 @@ std::vector<Violation> run_case(const FuzzCase& scenario,
     pipeline_error("schedule", e.what());
   }
 
-  // Simulate with a full trace, then run the invariant oracle.
-  try {
-    sim::SimOptions sim_options;
-    sim_options.instances = options.instances;
-    sim_options.record_trace = true;
-    const sim::SimResult result =
-        sim::simulate(analysis, mapping, sim_options);
-    InvariantReport report =
-        check_invariants(analysis, mapping, result, options.invariants);
-    violations.insert(violations.end(),
-                      std::make_move_iterator(report.violations.begin()),
-                      std::make_move_iterator(report.violations.end()));
-  } catch (const Error& e) {
-    pipeline_error("simulate", e.what());
+  // Simulate with a full trace, then run the invariant oracle.  A faulted
+  // case goes through the failover coordinator instead (fail-stop, DMA
+  // retry pressure, slowdowns, hangs) and the I8/I9 oracle on top.
+  if (scenario.with_faults) {
+    try {
+      const fault::FaultPlan plan = fault::FaultPlan::random(
+          scenario.fault_seed, analysis.platform(),
+          static_cast<std::int64_t>(options.instances));
+      fault::FailoverOptions failover;
+      failover.sim.instances = options.instances;
+      failover.sim.record_trace = true;
+      Rng strategy_rng(scenario.fault_seed ^ 0x5EC0FDULL);
+      failover.strategy =
+          strategy_rng.bernoulli(0.5) ? "greedy-mem" : "greedy-cpu";
+      const fault::FailoverOutcome outcome =
+          fault::run_with_failover(analysis, mapping, plan, failover);
+      InvariantReport report =
+          check_failover_invariants(analysis, outcome, options.invariants);
+      violations.insert(violations.end(),
+                        std::make_move_iterator(report.violations.begin()),
+                        std::make_move_iterator(report.violations.end()));
+    } catch (const Error& e) {
+      pipeline_error("failover", e.what());
+    }
+  } else {
+    try {
+      sim::SimOptions sim_options;
+      sim_options.instances = options.instances;
+      sim_options.record_trace = true;
+      const sim::SimResult result =
+          sim::simulate(analysis, mapping, sim_options);
+      InvariantReport report =
+          check_invariants(analysis, mapping, result, options.invariants);
+      violations.insert(violations.end(),
+                        std::make_move_iterator(report.violations.begin()),
+                        std::make_move_iterator(report.violations.end()));
+    } catch (const Error& e) {
+      pipeline_error("simulate", e.what());
+    }
   }
 
   // Differential oracle on small graphs.
@@ -159,6 +195,7 @@ FuzzReport run_fuzz(const FuzzOptions& options, std::ostream* log) {
     ++report.cases_run;
     ++report.pipelines_simulated;
     if (scenario.differential) ++report.differential_checks;
+    if (scenario.with_faults) ++report.fault_scenarios;
     if (!violations.empty()) {
       if (log != nullptr) {
         *log << "FAIL " << scenario.to_string() << ": "
@@ -180,7 +217,8 @@ std::string FuzzReport::summary() const {
   std::ostringstream os;
   os << cases_run << " cases (" << pipelines_simulated
      << " simulated pipelines, " << differential_checks
-     << " differential cross-checks): ";
+     << " differential cross-checks, " << fault_scenarios
+     << " fault scenarios): ";
   if (ok()) {
     os << "all invariants held";
   } else {

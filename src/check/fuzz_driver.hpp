@@ -34,6 +34,11 @@ struct FuzzOptions {
   double differential_probability = 0.25;
   std::size_t differential_max_tasks = 7;
   double milp_time_limit = 5.0;
+  /// Fraction of cases that additionally run under a random FaultPlan
+  /// through the failover coordinator and the I8/I9 oracle.  0 (the
+  /// default) draws nothing, so pre-existing case seeds reproduce
+  /// byte-identically; `cellstream_fuzz --faults` turns the dimension on.
+  double fault_probability = 0.0;
   InvariantOptions invariants;
 };
 
@@ -46,6 +51,8 @@ struct FuzzCase {
   std::string strategy;         ///< Mapping heuristic driven through the sim.
   std::string platform;         ///< Platform preset name.
   bool differential = false;    ///< Also cross-check the mappers.
+  bool with_faults = false;     ///< Run under a random FaultPlan (I8/I9).
+  std::uint64_t fault_seed = 0; ///< Seed of FaultPlan::random when faulted.
 
   std::string to_string() const;
 };
@@ -69,6 +76,7 @@ struct FuzzReport {
   std::size_t cases_run = 0;
   std::size_t pipelines_simulated = 0;
   std::size_t differential_checks = 0;
+  std::size_t fault_scenarios = 0;
   std::vector<FuzzFailure> failures;
 
   bool ok() const { return failures.empty(); }

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "obs/report.hpp"
+#include "support/error.hpp"
 #include "support/strings.hpp"
 
 namespace cellstream::check {
@@ -26,10 +27,12 @@ void add(std::vector<Violation>& out, std::string invariant,
 }
 
 /// Per-task compute events and per-edge fetch events, indexed by instance.
-/// Built once and shared by the trace-replay checkers.  Instance numbering
-/// of each sequence is verified to be 0, 1, 2, ... in completion order;
-/// gaps or repeats are reported (a checker working from a corrupted trace
-/// would otherwise prove nothing).
+/// Built once and shared by the trace-replay checkers.  Events are placed
+/// by their instance number — under fault injection a stalled DMA retry
+/// legitimately lets instance i+1's fetch complete before instance i's, so
+/// arrival order proves nothing — and each sequence is then verified to be
+/// a gap-free, duplicate-free 0..L-1 (a checker working from a corrupted
+/// trace would otherwise prove nothing).
 struct TraceIndex {
   struct Window {
     double start = 0.0;
@@ -43,6 +46,8 @@ struct TraceIndex {
   TraceIndex(const TaskGraph& graph, const std::vector<TraceEvent>& trace) {
     computes.resize(graph.task_count());
     fetches.resize(graph.edge_count());
+    std::vector<std::vector<char>> compute_seen(graph.task_count());
+    std::vector<std::vector<char>> fetch_seen(graph.edge_count());
     for (const TraceEvent& e : trace) {
       if (e.end < e.start) {
         add(defects, "trace-consistency",
@@ -56,7 +61,8 @@ struct TraceIndex {
               "compute event '" + e.name + "' has no valid task id");
           continue;
         }
-        append(computes[static_cast<std::size_t>(e.task)], e, "compute");
+        const auto t = static_cast<std::size_t>(e.task);
+        place(computes[t], compute_seen[t], e, "compute");
       } else if (e.payload == TraceEvent::Payload::kEdge) {
         if (e.edge < 0 ||
             static_cast<std::size_t>(e.edge) >= graph.edge_count()) {
@@ -64,8 +70,18 @@ struct TraceIndex {
               "edge transfer '" + e.name + "' has no valid edge id");
           continue;
         }
-        append(fetches[static_cast<std::size_t>(e.edge)], e, "fetch");
+        const auto edge = static_cast<std::size_t>(e.edge);
+        place(fetches[edge], fetch_seen[edge], e, "fetch");
       }
+    }
+    for (TaskId t = 0; t < graph.task_count(); ++t) {
+      report_gaps(compute_seen[t], "compute of task '" + graph.task(t).name);
+    }
+    for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+      const Edge& edge = graph.edge(e);
+      report_gaps(fetch_seen[e], "fetch of edge '" +
+                                     graph.task(edge.from).name + "->" +
+                                     graph.task(edge.to).name);
     }
   }
 
@@ -77,18 +93,37 @@ struct TraceIndex {
   }
 
  private:
-  void append(std::vector<Window>& seq, const TraceEvent& e,
-              const char* what) {
-    const std::int64_t expected = static_cast<std::int64_t>(seq.size());
-    if (e.instance != expected) {
+  void place(std::vector<Window>& seq, std::vector<char>& seen,
+             const TraceEvent& e, const char* what) {
+    if (e.instance < 0) {
       add(defects, "trace-consistency",
-          std::string(what) + " '" + e.name + "' completes instance " +
-              std::to_string(e.instance) + " but instance " +
-              std::to_string(expected) + " was next (events must arrive in "
-              "per-task/per-edge completion order)");
+          std::string(what) + " '" + e.name + "' has no instance number");
       return;
     }
-    seq.push_back({e.start, e.end});
+    const auto i = static_cast<std::size_t>(e.instance);
+    if (i >= seq.size()) {
+      seq.resize(i + 1);
+      seen.resize(i + 1, 0);
+    }
+    if (seen[i]) {
+      add(defects, "trace-consistency",
+          std::string(what) + " '" + e.name + "' completes instance " +
+              std::to_string(e.instance) + " twice (duplicated work)");
+      return;
+    }
+    seen[i] = 1;
+    seq[i] = {e.start, e.end};
+  }
+
+  void report_gaps(const std::vector<char>& seen, const std::string& what) {
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      if (!seen[i]) {
+        add(defects, "trace-consistency",
+            what + "': instance " + std::to_string(i) +
+                " is missing from the trace (later instances are present)");
+        return;  // one report per sequence keeps cascades readable
+      }
+    }
   }
 };
 
@@ -416,6 +451,100 @@ std::vector<Violation> check_causality(const SteadyStateAnalysis& analysis,
   return out;
 }
 
+StreamAccounting accounting_of(const sim::SimResult& result) {
+  StreamAccounting accounting;
+  accounting.instances_completed =
+      static_cast<std::int64_t>(result.completion_times.size());
+  accounting.edge_produced = result.edge_produced;
+  accounting.edge_delivered = result.edge_delivered;
+  return accounting;
+}
+
+StreamAccounting accounting_of(const runtime::RunStats& stats) {
+  StreamAccounting accounting;
+  accounting.instances_completed =
+      static_cast<std::int64_t>(stats.counters.instance_completion.size());
+  accounting.edge_produced = stats.edge_produced;
+  accounting.edge_delivered = stats.edge_delivered;
+  return accounting;
+}
+
+std::vector<Violation> check_stream_integrity(
+    const TaskGraph& graph, const StreamAccounting& accounting,
+    std::int64_t instances) {
+  std::vector<Violation> out;
+  if (accounting.instances_completed != instances) {
+    add(out, "stream-integrity",
+        "stream of " + std::to_string(instances) + " instances recorded " +
+            std::to_string(accounting.instances_completed) +
+            " completions (" +
+            (accounting.instances_completed < instances ? "lost"
+                                                        : "duplicated") +
+            " instances)");
+  }
+  if (accounting.edge_produced.size() != graph.edge_count() ||
+      accounting.edge_delivered.size() != graph.edge_count()) {
+    add(out, "stream-integrity",
+        "edge accounting covers " +
+            std::to_string(accounting.edge_produced.size()) + "/" +
+            std::to_string(accounting.edge_delivered.size()) +
+            " edges of a " + std::to_string(graph.edge_count()) +
+            "-edge graph");
+    return out;
+  }
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    const Edge& edge = graph.edge(e);
+    const std::string label =
+        graph.task(edge.from).name + "->" + graph.task(edge.to).name;
+    if (accounting.edge_produced[e] != instances) {
+      add(out, "stream-integrity",
+          "edge " + label + " produced " +
+              std::to_string(accounting.edge_produced[e]) +
+              " packets for " + std::to_string(instances) + " instances");
+    }
+    if (accounting.edge_delivered[e] != instances) {
+      add(out, "stream-integrity",
+          "edge " + label + " delivered " +
+              std::to_string(accounting.edge_delivered[e]) +
+              " packets for " + std::to_string(instances) +
+              " instances (data " +
+              (accounting.edge_delivered[e] < instances ? "lost"
+                                                        : "duplicated") +
+              ")");
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> check_degraded_mapping(
+    const SteadyStateAnalysis& analysis, const Mapping& post_mapping,
+    const std::vector<PeId>& failed_pes, const obs::Counters& post_counters,
+    const InvariantOptions& options) {
+  std::vector<Violation> out;
+  const TaskGraph& graph = analysis.graph();
+  const CellPlatform& platform = analysis.platform();
+  for (TaskId t = 0; t < post_mapping.task_count(); ++t) {
+    for (const PeId failed : failed_pes) {
+      if (post_mapping.pe_of(t) == failed) {
+        add(out, "degraded-mapping",
+            "task " + graph.task(t).name + " is still mapped to failed " +
+                platform.pe_name(failed));
+      }
+    }
+  }
+  for (Violation& v : check_local_store(analysis, post_mapping)) {
+    add(out, "degraded-mapping",
+        "post-failover mapping breaks the local store: " + v.detail);
+  }
+  for (Violation& v :
+       check_occupation(analysis, post_mapping, post_counters, options)) {
+    add(out, "degraded-mapping",
+        "post-failover occupation off the reduced-platform prediction: " +
+            v.detail);
+  }
+  return out;
+}
+
 std::vector<Violation> check_occupation(const SteadyStateAnalysis& analysis,
                                         const Mapping& mapping,
                                         const obs::Counters& counters,
@@ -447,12 +576,78 @@ InvariantReport check_invariants(const SteadyStateAnalysis& analysis,
   take(check_completion_order(result));
   take(check_local_store(analysis, mapping));
   take(check_occupation(analysis, mapping, result.counters, options));
+  // I8 self-consistency: every edge moved exactly one packet per completed
+  // instance.  Skipped for hand-built results without edge accounting.
+  if (result.edge_produced.size() == analysis.graph().edge_count() &&
+      result.edge_delivered.size() == analysis.graph().edge_count()) {
+    take(check_stream_integrity(
+        analysis.graph(), accounting_of(result),
+        static_cast<std::int64_t>(result.completion_times.size())));
+  }
   if (!result.trace.empty()) {
     report.trace_checked = true;
     report.trace_events_seen = result.trace.size();
     take(check_dma_queue_limits(analysis.platform(), result.trace));
     take(check_buffer_occupancy(analysis, mapping, result.trace));
     take(check_causality(analysis, mapping, result.trace, options));
+  }
+  return report;
+}
+
+InvariantReport check_failover_invariants(const SteadyStateAnalysis& analysis,
+                                          const fault::FailoverOutcome& outcome,
+                                          const InvariantOptions& options) {
+  InvariantReport report;
+  CS_ENSURE(outcome.phases.size() == outcome.phase_mappings.size() &&
+                !outcome.phases.empty(),
+            "check_failover_invariants: malformed outcome (phases and "
+            "mappings out of step)");
+
+  // Every phase is a complete, self-contained run under its own mapping;
+  // the phase-2 throughput bound compares against the degraded mapping's
+  // 1/T — exactly outcome.predicted_post_throughput.
+  for (std::size_t p = 0; p < outcome.phases.size(); ++p) {
+    // The steady-throughput estimate divides the middle-half completion
+    // count by its time span; on a short failover phase that window holds
+    // only a handful of completions, so edge quantization and pipeline
+    // burstiness inflate the estimate by O(1/m).  Widen the tolerance
+    // accordingly — the full-length overall-throughput bound stays sharp.
+    InvariantOptions phase_options = options;
+    const double middle_half =
+        static_cast<double>(outcome.phases[p].completion_times.size()) / 2.0;
+    phase_options.throughput_tolerance =
+        std::max(options.throughput_tolerance,
+                 3.0 / std::max(1.0, middle_half));
+    InvariantReport phase_report = check_invariants(
+        analysis, outcome.phase_mappings[p], outcome.phases[p], phase_options);
+    report.checks_run += phase_report.checks_run;
+    report.trace_events_seen += phase_report.trace_events_seen;
+    report.trace_checked = report.trace_checked || phase_report.trace_checked;
+    for (Violation& v : phase_report.violations) {
+      v.detail = "phase " + std::to_string(p + 1) + ": " + v.detail;
+      report.violations.push_back(std::move(v));
+    }
+  }
+
+  // I8 across the whole stitched stream: the drain/remap/migrate/resume
+  // protocol must not lose or duplicate a single instance or packet.
+  ++report.checks_run;
+  for (Violation& v :
+       check_stream_integrity(analysis.graph(), accounting_of(outcome.result),
+                              outcome.instances)) {
+    report.violations.push_back(std::move(v));
+  }
+
+  // I9 on the post-failover phase.
+  if (outcome.failover_performed) {
+    ++report.checks_run;
+    const PeId failed =
+        static_cast<PeId>(outcome.result.faults.failed_pe);
+    for (Violation& v : check_degraded_mapping(
+             analysis, outcome.post_mapping, {failed},
+             outcome.phases.back().counters, options)) {
+      report.violations.push_back(std::move(v));
+    }
   }
   return report;
 }

@@ -24,19 +24,32 @@
 //                            per direction) exceeds the steady-state
 //                            prediction beyond tolerance, and no DMA-queue
 //                            peak exceeds the hardware depth (obs::Report's
-//                            predicted-vs-observed cross-check).
+//                            predicted-vs-observed cross-check),
+//   I8  stream integrity     no instance is lost or duplicated: every
+//                            instance completes exactly once and every edge
+//                            produces and delivers exactly one packet per
+//                            instance — under fault injection included
+//                            (docs/ROBUSTNESS.md),
+//   I9  degraded mapping     after a failover, no task remains on a failed
+//                            PE and the post-failover phase's occupation
+//                            and throughput match the reduced-platform
+//                            steady-state prediction.
 //
 // I1-I3 need only the SimResult; I4-I6 replay the execution trace
 // (SimOptions::record_trace) against the analysis; I7 consumes the
-// telemetry counters every simulated run carries.  Each checker returns
-// the violations it found — an empty vector is a pass — so tests can
-// exercise them one by one with hand-built traces.
+// telemetry counters every simulated run carries; I8/I9 consume the
+// per-edge accounting both executors export and the failover outcome of
+// fault::run_with_failover.  Each checker returns the violations it found
+// — an empty vector is a pass — so tests can exercise them one by one
+// with hand-built traces.
 
 #include <string>
 #include <vector>
 
 #include "core/steady_state.hpp"
+#include "fault/failover.hpp"
 #include "obs/recorder.hpp"
+#include "runtime/host_runtime.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
@@ -109,6 +122,35 @@ std::vector<Violation> check_causality(const SteadyStateAnalysis& analysis,
                                        const std::vector<sim::TraceEvent>& trace,
                                        const InvariantOptions& options = {});
 
+/// Executor-neutral end-to-end accounting of one run — I8's raw material.
+/// Both executors export it: accounting_of() adapts either result type.
+struct StreamAccounting {
+  std::int64_t instances_completed = 0;  ///< Completion stamps recorded.
+  std::vector<std::int64_t> edge_produced;   ///< Packets pushed per edge.
+  std::vector<std::int64_t> edge_delivered;  ///< Packets retired per edge.
+};
+
+StreamAccounting accounting_of(const sim::SimResult& result);
+StreamAccounting accounting_of(const runtime::RunStats& stats);
+
+/// I8: a complete `instances`-long run must complete every instance exactly
+/// once and move exactly one packet per instance along every edge — no
+/// instance lost, none duplicated, even across a failover remap.
+std::vector<Violation> check_stream_integrity(const TaskGraph& graph,
+                                              const StreamAccounting& accounting,
+                                              std::int64_t instances);
+
+/// I9: after losing `failed_pes`, the degraded mapping must host no task on
+/// a failed PE, still fit every surviving SPE's local store, and the
+/// post-failover phase's observed occupation must match the steady-state
+/// prediction of the degraded mapping (the reduced-platform prediction —
+/// the failed PE hosts nothing).  `post_counters` are the telemetry of the
+/// post-failover phase only.
+std::vector<Violation> check_degraded_mapping(
+    const SteadyStateAnalysis& analysis, const Mapping& post_mapping,
+    const std::vector<PeId>& failed_pes, const obs::Counters& post_counters,
+    const InvariantOptions& options = {});
+
 /// I7: build the obs::Report for `counters` and flag every resource whose
 /// observed occupation per instance exceeds the steady-state prediction by
 /// more than options.occupation_tolerance, plus any DMA-queue peak above
@@ -121,10 +163,22 @@ std::vector<Violation> check_occupation(const SteadyStateAnalysis& analysis,
                                         const InvariantOptions& options = {});
 
 /// Run every invariant against a simulated run.  Trace-based checks are
-/// skipped (report.trace_checked == false) when result.trace is empty.
+/// skipped (report.trace_checked == false) when result.trace is empty; the
+/// I8 self-check is skipped when the result carries no edge accounting
+/// (hand-built results).
 InvariantReport check_invariants(const SteadyStateAnalysis& analysis,
                                  const Mapping& mapping,
                                  const sim::SimResult& result,
                                  const InvariantOptions& options = {});
+
+/// Run the full oracle against a fault::run_with_failover outcome: every
+/// phase is checked as a self-contained run under the mapping it executed
+/// (I1-I7; the phase-2 throughput bound uses the degraded mapping's
+/// analysis, so it IS the I9 throughput check), I8 over the stitched
+/// whole-stream accounting, and I9 on the post-failover mapping and phase
+/// when a failover ran.  Phase indices are prefixed to every violation.
+InvariantReport check_failover_invariants(
+    const SteadyStateAnalysis& analysis, const fault::FailoverOutcome& outcome,
+    const InvariantOptions& options = {});
 
 }  // namespace cellstream::check

@@ -1,0 +1,82 @@
+#pragma once
+// Simulated drain -> remap -> migrate -> resume protocol for permanent PE
+// loss (the simulator-side twin of the host runtime's failover path).
+//
+// The stream is split at the fail-stop instance k into two complete
+// simulated phases.  Phase 1 runs the original mapping for instances
+// [0, k): when it completes, every edge has produced == consumed == k, so
+// the drain frontier is a consistent firstPeriod cut with empty buffers
+// by construction.  The coordinator then remaps the orphaned tasks
+// (greedy fast path, or the MILP warm-started from the surviving
+// assignment), charges a downtime of the remap overhead plus the buffer
+// bytes that must be re-established over the interface, and runs phase 2
+// — instances [k, N) on the post-failover mapping, with the instance
+// offset threaded through so instance-keyed transient faults stay aligned
+// with the global stream position.  The two phases are stitched into one
+// whole-stream SimResult for reporting and the I8/I9 oracle.
+
+#include <string>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/steady_state.hpp"
+#include "fault/fault_plan.hpp"
+#include "obs/report.hpp"
+#include "sim/simulator.hpp"
+
+namespace cellstream::fault {
+
+struct FailoverOptions {
+  /// Base simulator configuration (instances, overheads, trace, ...).
+  /// fault_plan and instance_offset are managed by the coordinator.
+  sim::SimOptions sim;
+  /// Remap strategy: "greedy-mem", "greedy-cpu" (fast failover) or "milp"
+  /// (reduced-platform solve warm-started from the surviving assignment).
+  std::string strategy = "greedy-mem";
+  /// Time budget of the "milp" strategy.
+  double milp_time_limit_seconds = 2.0;
+  /// Fixed protocol cost per failover (detection, drain barrier, control
+  /// traffic), charged to the downtime in simulated seconds.
+  double remap_overhead_seconds = 1.0e-3;
+};
+
+struct FailoverOutcome {
+  Mapping pre_mapping;
+  Mapping post_mapping;  ///< == pre_mapping when no failover ran.
+  std::int64_t instances = 0;  ///< Stream length the run was asked for.
+  bool failover_performed = false;
+  double downtime_seconds = 0.0;
+  /// Reduced-platform steady-state prediction 1/T of post_mapping (the
+  /// failed PE hosts nothing, so the full-platform analysis of the post
+  /// mapping IS the reduced-platform prediction) — invariant I9's bound.
+  double predicted_post_throughput = 0.0;
+  /// Whole-stream view: completion times, counters, trace and fault
+  /// counters of both phases stitched together (phase 2 shifted by phase
+  /// 1's makespan plus the downtime).
+  sim::SimResult result;
+  /// The underlying complete per-phase runs (1 entry when no failover,
+  /// 2 otherwise) with the mapping each phase executed — the oracle
+  /// checks every phase as a self-contained run.
+  std::vector<sim::SimResult> phases;
+  std::vector<Mapping> phase_mappings;
+};
+
+/// Execute `plan` against the mapped stream.  Plans without a permanent
+/// failure (or whose failure instance lies outside the stream) degenerate
+/// to a single transient-faults-only simulation.  The fail instance is
+/// clamped to [1, instances - 1] so both phases are non-empty.  Throws
+/// when no PPE survives the failure.
+FailoverOutcome run_with_failover(const SteadyStateAnalysis& analysis,
+                                  const Mapping& mapping,
+                                  const FaultPlan& plan,
+                                  const FailoverOptions& options = {});
+
+/// Adapt an executor's fault counters to the schema-neutral summary the
+/// observability layer exports (obs::Report::faults, stats schema v2).
+/// `predicted_post_throughput` is the reduced-platform prediction when a
+/// failover ran (FailoverOutcome::predicted_post_throughput); pass 0 for
+/// transient-only runs.
+obs::FaultSummary fault_summary(const FaultStats& stats,
+                                double predicted_post_throughput = 0.0);
+
+}  // namespace cellstream::fault

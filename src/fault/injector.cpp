@@ -1,0 +1,88 @@
+#include "fault/injector.hpp"
+
+#include "support/rng.hpp"
+
+namespace cellstream::fault {
+
+namespace {
+
+/// splitmix64 finalizer — the same mix Rng::reseed applies per word, used
+/// here to fold a composite key into one well-distributed 64-bit seed.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t kFailureSalt = 0xD3A1;
+constexpr std::uint64_t kJitterSalt = 0xBAC0FF;
+
+}  // namespace
+
+std::uint64_t FaultInjector::key(std::uint64_t salt, std::uint64_t kind,
+                                 std::uint64_t object,
+                                 std::int64_t instance) const {
+  std::uint64_t h = mix(plan_.seed ^ salt);
+  h = mix(h ^ kind);
+  h = mix(h ^ object);
+  h = mix(h ^ static_cast<std::uint64_t>(instance));
+  return h;
+}
+
+double FaultInjector::compute_factor(PeId pe, std::int64_t instance) const {
+  double factor = 1.0;
+  for (const Slowdown& s : plan_.slowdowns) {
+    if (s.pe == pe && instance >= s.from_instance &&
+        instance <= s.to_instance) {
+      factor *= s.factor;
+    }
+  }
+  return factor;
+}
+
+std::size_t FaultInjector::hang_index(PeId pe, std::int64_t instance) const {
+  for (std::size_t i = 0; i < plan_.hangs.size(); ++i) {
+    if (plan_.hangs[i].pe == pe && plan_.hangs[i].at_instance == instance) {
+      return i;
+    }
+  }
+  return npos;
+}
+
+int FaultInjector::dma_failures(TransferKind kind, std::uint64_t object,
+                                std::int64_t instance) const {
+  if (plan_.dma.rate <= 0.0 || plan_.dma.max_retries <= 0) return 0;
+  Rng rng(key(kFailureSalt, static_cast<std::uint64_t>(kind), object,
+              instance));
+  int failures = 0;
+  while (failures < plan_.dma.max_retries && rng.bernoulli(plan_.dma.rate)) {
+    ++failures;
+  }
+  return failures;
+}
+
+double FaultInjector::dma_backoff(TransferKind kind, std::uint64_t object,
+                                  std::int64_t instance, int failures) const {
+  if (failures <= 0) return 0.0;
+  Rng rng(
+      key(kJitterSalt, static_cast<std::uint64_t>(kind), object, instance));
+  double delay = 0.0;
+  double window = plan_.dma.backoff_seconds;
+  for (int attempt = 0; attempt < failures; ++attempt) {
+    delay += window * (1.0 + plan_.dma.jitter * rng.uniform());
+    window *= 2.0;
+  }
+  return delay;
+}
+
+double FaultInjector::dma_delay(TransferKind kind, std::uint64_t object,
+                                std::int64_t instance,
+                                std::int64_t* retries) const {
+  const int failures = dma_failures(kind, object, instance);
+  if (failures <= 0) return 0.0;
+  if (retries != nullptr) *retries += failures;
+  return dma_backoff(kind, object, instance, failures);
+}
+
+}  // namespace cellstream::fault

@@ -1,0 +1,65 @@
+#include "fault/milp_remap.hpp"
+
+#include "fault/remap.hpp"
+#include "mapping/milp_mapper.hpp"
+#include "support/error.hpp"
+
+namespace cellstream::fault {
+
+namespace {
+
+/// PE id translation for a platform with `failed_pe` removed.  PPEs keep
+/// the low indices in both numberings, so removing any single PE is a
+/// simple shift (only valid on single-chip platforms).
+PeId to_reduced(PeId pe, PeId failed_pe) {
+  return pe > failed_pe ? pe - 1 : pe;
+}
+PeId to_original(PeId pe, PeId failed_pe) {
+  return pe >= failed_pe ? pe + 1 : pe;
+}
+
+}  // namespace
+
+Mapping milp_remap_after_failure(const SteadyStateAnalysis& analysis,
+                                 const Mapping& mapping, PeId failed_pe,
+                                 double time_limit_seconds) {
+  const CellPlatform& platform = analysis.platform();
+  CS_ENSURE(failed_pe < platform.pe_count(),
+            "milp_remap_after_failure: failed PE out of range");
+
+  // The greedy failover mapping doubles as the MILP warm start and as the
+  // fallback whenever the reduced formulation is unavailable.
+  const Mapping greedy =
+      remap_after_failure(analysis, mapping, {failed_pe}, "greedy-mem");
+  if (platform.chip_count > 1) return greedy;
+
+  CellPlatform reduced = platform;
+  if (platform.is_ppe(failed_pe)) {
+    CS_ENSURE(platform.ppe_count > 1,
+              "milp_remap_after_failure: no surviving PPE");
+    --reduced.ppe_count;
+  } else {
+    --reduced.spe_count;
+  }
+
+  SteadyStateAnalysis reduced_analysis(analysis.graph(), reduced,
+                                       analysis.buffer_policy());
+  Mapping warm(mapping.task_count(), 0);
+  for (TaskId t = 0; t < greedy.task_count(); ++t) {
+    warm.assign(t, to_reduced(greedy.pe_of(t), failed_pe));
+  }
+
+  mapping::MilpMapperOptions options;
+  options.milp.time_limit_seconds = time_limit_seconds;
+  options.extra_incumbents.push_back(std::move(warm));
+  const mapping::MilpMapperResult solved =
+      mapping::solve_optimal_mapping(reduced_analysis, options);
+
+  Mapping result(mapping.task_count(), 0);
+  for (TaskId t = 0; t < solved.mapping.task_count(); ++t) {
+    result.assign(t, to_original(solved.mapping.pe_of(t), failed_pe));
+  }
+  return result;
+}
+
+}  // namespace cellstream::fault

@@ -1,0 +1,25 @@
+#pragma once
+// Quality remap after a permanent PE loss: re-solve the paper's MILP on
+// the reduced platform, warm-started from the surviving assignment.
+
+#include "core/mapping.hpp"
+#include "core/steady_state.hpp"
+
+namespace cellstream::fault {
+
+/// Solve the mapping MILP on `analysis`'s platform minus `failed_pe`,
+/// seeding the branch-and-bound with the greedy failover mapping (the
+/// surviving assignment with orphans re-placed) translated to the reduced
+/// PE numbering — so the solver starts from the configuration the stream
+/// could resume on immediately and only searches for improvements.  The
+/// result is translated back to the ORIGINAL platform's PE ids (the
+/// failed PE simply hosts nothing).
+///
+/// Multi-chip platforms fall back to the greedy remap: deleting one PE
+/// from a chip-block numbering would silently re-partition the chips, so
+/// the reduced formulation would model the wrong cross-chip link.
+Mapping milp_remap_after_failure(const SteadyStateAnalysis& analysis,
+                                 const Mapping& mapping, PeId failed_pe,
+                                 double time_limit_seconds = 2.0);
+
+}  // namespace cellstream::fault

@@ -1,0 +1,34 @@
+#pragma once
+// Degraded-mode remapping: recompute a feasible assignment after one or
+// more PEs fail permanently.
+//
+// The fast path reuses the paper's constructive heuristics (GREEDYMEM /
+// GREEDYCPU, Section 6.3) restricted to the surviving PEs, keeping every
+// surviving task in place when it fits — minimizing migration volume is
+// what bounds failover downtime.  A higher-quality MILP remap (reduced
+// platform, warm-started from the surviving assignment) lives in
+// fault/milp_remap.hpp so this header stays free of solver dependencies.
+
+#include <string>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/steady_state.hpp"
+
+namespace cellstream::fault {
+
+/// Remap the tasks hosted by `failed_pes` onto the surviving PEs.
+///
+/// Surviving assignments are kept untouched; orphaned tasks are placed in
+/// topological order by `strategy` ("greedy-mem": least-loaded surviving
+/// SPE local store with PPE fallback; "greedy-cpu": least compute load
+/// over all surviving PEs).  Throws Error when no PPE survives (the
+/// protocol needs at least one PE with transparent main-memory access) or
+/// the strategy is unknown.  The result is local-store feasible by
+/// construction; DMA-slot feasibility is re-checked by the caller (I9).
+Mapping remap_after_failure(const SteadyStateAnalysis& analysis,
+                            const Mapping& mapping,
+                            const std::vector<PeId>& failed_pes,
+                            const std::string& strategy = "greedy-mem");
+
+}  // namespace cellstream::fault

@@ -355,6 +355,16 @@ MilpMapperResult solve_optimal_mapping(const SteadyStateAnalysis& analysis,
     }
   }
 
+  for (const Mapping& warm : options.extra_incumbents) {
+    CS_ENSURE(warm.task_count() == graph.task_count(),
+              "solve_optimal_mapping: extra incumbent does not match graph");
+    if (!analysis.feasible(warm)) continue;
+    Mapping m = warm;
+    const double period = improve_mapping(analysis, m);
+    solver.add_initial_incumbent(
+        {period, encode_mapping(formulation, analysis, m)});
+  }
+
   if (options.rounding_heuristic) {
     solver.set_rounding_callback(
         [&formulation, &analysis](const std::vector<double>& x)

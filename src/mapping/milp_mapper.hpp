@@ -54,6 +54,11 @@ struct MilpMapperOptions {
   bool seed_with_heuristics = true;
   /// Attach the LP-rounding incumbent callback.
   bool rounding_heuristic = true;
+  /// Additional caller-supplied warm starts, injected as incumbents when
+  /// they are feasible (each is local-search-polished first).  Degraded-
+  /// mode remapping passes the surviving assignment here so the B&B
+  /// starts from the running configuration instead of from scratch.
+  std::vector<Mapping> extra_incumbents;
 
   MilpMapperOptions() {
     milp.relative_gap = 0.05;

@@ -42,6 +42,28 @@ json::Value solver_to_json(const obs::SolverStats& solver) {
   return v;
 }
 
+json::Value faults_to_json(const obs::FaultSummary& faults) {
+  if (!faults.present) return json::Value();  // null: no fault plan
+  json::Value v = json::Value::object();
+  v.set("dma_retries",
+        json::Value(static_cast<std::int64_t>(faults.dma_retries)));
+  v.set("backoff_seconds", json::Value(faults.backoff_seconds));
+  v.set("hangs", json::Value(static_cast<std::int64_t>(faults.hangs)));
+  v.set("hang_seconds", json::Value(faults.hang_seconds));
+  v.set("slowdown_seconds", json::Value(faults.slowdown_seconds));
+  v.set("failovers", json::Value(static_cast<std::int64_t>(faults.failovers)));
+  v.set("downtime_seconds", json::Value(faults.downtime_seconds));
+  v.set("migrated_tasks",
+        json::Value(static_cast<std::int64_t>(faults.migrated_tasks)));
+  v.set("migrated_bytes", json::Value(faults.migrated_bytes));
+  v.set("failed_pe", json::Value(static_cast<std::int64_t>(faults.failed_pe)));
+  v.set("fail_instance",
+        json::Value(static_cast<std::int64_t>(faults.fail_instance)));
+  v.set("predicted_post_throughput",
+        json::Value(faults.predicted_post_throughput));
+  return v;
+}
+
 }  // namespace
 
 json::Value stats_to_json(const obs::Report& report) {
@@ -104,6 +126,7 @@ json::Value stats_to_json(const obs::Report& report) {
 
   doc.set("convergence", convergence_to_json(report));
   doc.set("solver", solver_to_json(report.solver));
+  doc.set("faults", faults_to_json(report.faults));
   return doc;
 }
 
@@ -155,11 +178,16 @@ std::vector<std::string> validate_stats_json(const json::Value& document) {
     return problems;
   }
   using Kind = json::Value::Kind;
+  bool legacy_v1 = false;
   if (const json::Value* schema =
           expect(document, "schema", Kind::kString, "document", problems)) {
-    if (schema->as_string() != kStatsSchema) {
-      problems.push_back("schema: got '" + schema->as_string() +
-                         "', want '" + std::string(kStatsSchema) + "'");
+    const std::string& tag = schema->as_string();
+    if (tag == kStatsSchemaV1) {
+      legacy_v1 = true;
+    } else if (tag != kStatsSchema) {
+      problems.push_back("schema: got '" + tag + "', want '" +
+                         std::string(kStatsSchema) + "' (or legacy '" +
+                         std::string(kStatsSchemaV1) + "')");
     }
   }
 
@@ -287,6 +315,46 @@ std::vector<std::string> validate_stats_json(const json::Value& document) {
           expect(point, "nodes", Kind::kNumber, prefix, problems);
           expect(point, "objective", Kind::kNumber, prefix, problems);
         }
+      }
+    }
+  }
+
+  // The faults section is what v2 adds: required there (null when the run
+  // had no fault plan), and must not appear in a legacy v1 document.
+  if (legacy_v1) {
+    if (document.has("faults")) {
+      problems.push_back(
+          "document.faults: present in a v1 document (v2 section)");
+    }
+  } else if (!document.has("faults")) {
+    problems.push_back("document.faults: missing (null allowed)");
+  } else if (const json::Value& faults = document.at("faults");
+             !faults.is_null()) {
+    if (!faults.is_object()) {
+      problems.push_back("faults: wrong type (object or null)");
+    } else {
+      expect(faults, "dma_retries", Kind::kNumber, "faults", problems);
+      expect(faults, "backoff_seconds", Kind::kNumber, "faults", problems);
+      expect(faults, "hangs", Kind::kNumber, "faults", problems);
+      expect(faults, "hang_seconds", Kind::kNumber, "faults", problems);
+      expect(faults, "slowdown_seconds", Kind::kNumber, "faults", problems);
+      expect(faults, "failovers", Kind::kNumber, "faults", problems);
+      expect(faults, "downtime_seconds", Kind::kNumber, "faults", problems);
+      expect(faults, "migrated_tasks", Kind::kNumber, "faults", problems);
+      expect(faults, "migrated_bytes", Kind::kNumber, "faults", problems);
+      const json::Value* failed_pe =
+          expect(faults, "failed_pe", Kind::kNumber, "faults", problems);
+      const json::Value* failovers = faults.has("failovers") &&
+                                             faults.at("failovers").is_number()
+                                         ? &faults.at("failovers")
+                                         : nullptr;
+      expect(faults, "fail_instance", Kind::kNumber, "faults", problems);
+      expect(faults, "predicted_post_throughput", Kind::kNumber, "faults",
+             problems);
+      if (failed_pe != nullptr && failovers != nullptr &&
+          (failovers->as_number() > 0.0) != (failed_pe->as_number() >= 0.0)) {
+        problems.push_back(
+            "faults: 'failovers' inconsistent with 'failed_pe'");
       }
     }
   }

@@ -4,14 +4,24 @@
 #include <condition_variable>
 #include <deque>
 #include <exception>
+#include <iomanip>
 #include <mutex>
+#include <optional>
+#include <sstream>
 #include <thread>
+
+#include "fault/injector.hpp"
+#include "fault/remap.hpp"
 
 namespace cellstream::runtime {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
 
 struct EdgeChannel {
   std::int64_t capacity = 0;  // packets (analysis buffer depth)
@@ -33,9 +43,9 @@ struct TaskState {
   int peek = 0;
   std::vector<EdgeId> in_edges;   // graph order
   std::vector<EdgeId> out_edges;  // graph order
-  // Telemetry attribution, precomputed: an edge whose endpoints sit on
-  // different PEs crosses both interfaces (producer out, consumer in);
-  // a PE-local edge touches neither.
+  // Telemetry attribution, recomputed on every remap: an edge whose
+  // endpoints sit on different PEs crosses both interfaces (producer out,
+  // consumer in); a PE-local edge touches neither.
   std::vector<bool> in_remote;
   std::vector<bool> out_remote;
 };
@@ -47,13 +57,16 @@ struct TaskState {
 struct WorkerLocal {
   obs::PeCounters counters;
   std::vector<obs::TraceEvent> trace;
+  fault::FaultStats faults;
 };
 
 class Runtime {
  public:
   Runtime(const SteadyStateAnalysis& analysis, const Mapping& mapping,
           const std::vector<TaskFunction>& tasks, const RunOptions& options)
-      : graph_(analysis.graph()),
+      : analysis_(analysis),
+        graph_(analysis.graph()),
+        platform_(analysis.platform()),
         mapping_(mapping),
         tasks_(tasks),
         opt_(options) {
@@ -64,47 +77,52 @@ class Runtime {
     for (const TaskFunction& fn : tasks) {
       CS_ENSURE(fn != nullptr, "run_stream: null TaskFunction");
     }
-    mapping.validate(analysis.platform());
+    mapping.validate(platform_);
+    CS_ENSURE(opt_.failover_strategy == "greedy-mem" ||
+                  opt_.failover_strategy == "greedy-cpu",
+              "run_stream: unknown failover strategy '" +
+                  opt_.failover_strategy + "'");
+    if (opt_.fault_plan != nullptr && !opt_.fault_plan->empty()) {
+      opt_.fault_plan->validate(platform_);
+      injector_.emplace(*opt_.fault_plan);
+      hang_fired_.assign(opt_.fault_plan->hangs.size(), 0);
+    }
 
     edges_.resize(graph_.edge_count());
     for (EdgeId e = 0; e < graph_.edge_count(); ++e) {
       edges_[e].capacity = analysis.buffer_depth(e);
     }
     states_.resize(graph_.task_count());
-    pe_tasks_.resize(analysis.platform().pe_count());
     for (TaskId t : graph_.topological_order()) {
       TaskState& state = states_[t];
       state.peek = graph_.task(t).peek;
       state.in_edges = graph_.in_edges(t);
       state.out_edges = graph_.out_edges(t);
-      state.in_remote.reserve(state.in_edges.size());
-      for (EdgeId e : state.in_edges) {
-        state.in_remote.push_back(mapping.pe_of(graph_.edge(e).from) !=
-                                  mapping.pe_of(t));
-      }
-      state.out_remote.reserve(state.out_edges.size());
-      for (EdgeId e : state.out_edges) {
-        state.out_remote.push_back(mapping.pe_of(graph_.edge(e).to) !=
-                                   mapping.pe_of(t));
-      }
-      pe_tasks_[mapping.pe_of(t)].push_back(t);
     }
-    recorder_.reset(analysis.platform().pe_count(), obs::TimeDomain::kWall);
+    pe_dead_.assign(platform_.pe_count(), 0);
+    heartbeat_.assign(platform_.pe_count(), -1.0);
+    rebuild_placement_locked();
+    recorder_.reset(platform_.pe_count(), obs::TimeDomain::kWall);
   }
 
   RunStats run() {
-    const auto start = Clock::now();
-    start_ = start;
-    deadline_ = start + std::chrono::duration_cast<Clock::duration>(
-                            std::chrono::duration<double>(
-                                opt_.wall_timeout_seconds));
+    start_ = Clock::now();
+    last_progress_ = start_;
+    watchdog_ = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(opt_.wall_timeout_seconds));
+    // With a fail-stop in the plan every PE gets a worker: an idle PE may
+    // inherit remapped tasks mid-stream.
+    const bool spawn_all = injector_ && injector_->has_pe_failure();
+    std::vector<PeId> spawn;
+    for (PeId pe = 0; pe < pe_tasks_.size(); ++pe) {
+      if (spawn_all || !pe_tasks_[pe].empty()) spawn.push_back(pe);
+    }
+    active_workers_ = spawn.size();
     std::vector<std::thread> workers;
-    workers.reserve(pe_tasks_.size());
+    workers.reserve(spawn.size());
     try {
-      for (PeId pe = 0; pe < pe_tasks_.size(); ++pe) {
-        const auto& assigned = pe_tasks_[pe];
-        if (assigned.empty()) continue;
-        workers.emplace_back([this, pe, &assigned] { worker(pe, assigned); });
+      for (PeId pe : spawn) {
+        workers.emplace_back([this, pe] { worker(pe); });
       }
     } catch (...) {
       // Thread spawn failed mid-way.  Flag the error so already-running
@@ -119,23 +137,31 @@ class Runtime {
     }
     for (std::thread& w : workers) w.join();
     if (failure_) std::rethrow_exception(failure_);
-    CS_ENSURE(!timed_out_, "run_stream: wall timeout — dataflow deadlock or "
-                           "task code hung");
+    CS_ENSURE(!timed_out_,
+              "run_stream: watchdog — no progress for " +
+                  std::to_string(opt_.wall_timeout_seconds) +
+                  " s (dataflow deadlock or hung task code); " +
+                  stall_detail_);
 
     RunStats stats;
-    stats.wall_seconds =
-        std::chrono::duration<double>(Clock::now() - start).count();
+    stats.wall_seconds = seconds_between(start_, Clock::now());
     stats.throughput =
         static_cast<double>(opt_.instances) / stats.wall_seconds;
     stats.max_buffer_occupancy.reserve(edges_.size());
+    stats.edge_produced.reserve(edges_.size());
+    stats.edge_delivered.reserve(edges_.size());
     for (const EdgeChannel& edge : edges_) {
       stats.max_buffer_occupancy.push_back(edge.max_occupancy);
+      stats.edge_produced.push_back(edge.produced);
+      stats.edge_delivered.push_back(edge.consumed);
     }
     stats.tasks_executed = tasks_executed_;
     // All workers have joined, so every flush has happened; no lock needed.
     recorder_.set_elapsed(stats.wall_seconds);
     stats.counters = recorder_.take();
     stats.trace = std::move(trace_);
+    stats.faults = faults_;
+    stats.final_mapping = mapping_;
     return stats;
   }
 
@@ -176,10 +202,78 @@ class Runtime {
   }
 
   double wall_now_locked() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return seconds_between(start_, Clock::now());
   }
 
-  void commit_locked(TaskId t, std::vector<Packet>&& outputs,
+  /// Rearm the watchdog and stamp this worker's heartbeat.  Called on
+  /// every task selection, commit and failover step — the progress events
+  /// that distinguish a live stream from a stalled one.
+  void progress_locked(PeId pe) {
+    last_progress_ = Clock::now();
+    heartbeat_[pe] = wall_now_locked();
+  }
+
+  /// (Re)derive placement state from mapping_: per-PE task lists in
+  /// topological order and the remote flags of every task's edges.  Used
+  /// at construction and again after a failover remap.
+  void rebuild_placement_locked() {
+    pe_tasks_.assign(platform_.pe_count(), {});
+    for (TaskId t : graph_.topological_order()) {
+      TaskState& state = states_[t];
+      state.in_remote.clear();
+      state.in_remote.reserve(state.in_edges.size());
+      for (EdgeId e : state.in_edges) {
+        state.in_remote.push_back(mapping_.pe_of(graph_.edge(e).from) !=
+                                  mapping_.pe_of(t));
+      }
+      state.out_remote.clear();
+      state.out_remote.reserve(state.out_edges.size());
+      for (EdgeId e : state.out_edges) {
+        state.out_remote.push_back(mapping_.pe_of(graph_.edge(e).to) !=
+                                   mapping_.pe_of(t));
+      }
+      pe_tasks_[mapping_.pe_of(t)].push_back(t);
+    }
+  }
+
+  std::string stall_diagnostics_locked() const {
+    std::ostringstream out;
+    out << done_count_ << "/" << opt_.instances
+        << " instances complete; heartbeats:";
+    const double now = wall_now_locked();
+    for (PeId pe = 0; pe < heartbeat_.size(); ++pe) {
+      if (heartbeat_[pe] < 0.0) continue;  // worker never progressed
+      out << " " << platform_.pe_name(pe) << "=" << std::fixed
+          << std::setprecision(2) << (now - heartbeat_[pe]) << "s-ago";
+    }
+    if (remap_pending_) {
+      out << "; failover drain in progress (failed "
+          << platform_.pe_name(dead_pe_) << ", " << parked_ << "/"
+          << (active_workers_ == 0 ? 0 : active_workers_ - 1)
+          << " workers parked)";
+    }
+    return out.str();
+  }
+
+  /// Park-or-trip wait: sleeps until notified or the watchdog window past
+  /// the last progress event elapses.  On a genuine quiet window (no
+  /// progress since the deadline was computed) flags the stall for every
+  /// worker and captures the diagnostics.
+  void wait_watchdog(std::unique_lock<std::mutex>& lock) {
+    const Clock::time_point deadline = last_progress_ + watchdog_;
+    if (cv_.wait_until(lock, deadline) != std::cv_status::timeout) return;
+    if (timed_out_ || failure_ != nullptr) return;
+    if (done_count_ >= opt_.instances) return;
+    // The wait timing out is not enough: a peer may have progressed (and
+    // rearmed the deadline) while this worker slept through its own stale
+    // deadline.  Only a window with NO progress anywhere is a stall.
+    if (Clock::now() < last_progress_ + watchdog_) return;
+    timed_out_ = true;
+    stall_detail_ = stall_diagnostics_locked();
+    cv_.notify_all();
+  }
+
+  void commit_locked(PeId pe, TaskId t, std::vector<Packet>&& outputs,
                      WorkerLocal& local) {
     TaskState& state = states_[t];
     CS_ENSURE(outputs.size() == state.out_edges.size(),
@@ -236,6 +330,63 @@ class Runtime {
       recorder_.on_instance_complete(wall_now_locked());
       ++done_count_;
     }
+    progress_locked(pe);
+  }
+
+  /// Fail-stop trigger (runs on the dying PE's worker, under the lock):
+  /// mark the PE dead and open the drain barrier.  The trigger worker
+  /// becomes the failover coordinator.
+  void begin_failover_locked(PeId pe) {
+    pe_dead_[pe] = 1;
+    dead_pe_ = pe;
+    remap_pending_ = true;
+    drain_start_ = Clock::now();
+    cv_.notify_all();
+  }
+
+  /// Coordinator body, entered once every other live worker is parked:
+  /// remap the orphans, account the migration, resume the stream.  The
+  /// caller still holds the lock; peers are woken by the caller.
+  void perform_failover_locked() {
+    Mapping post;
+    try {
+      post = fault::remap_after_failure(analysis_, mapping_, {dead_pe_},
+                                        opt_.failover_strategy);
+    } catch (...) {
+      // Unsurvivable loss (e.g. the only PPE).  Clear the barrier so
+      // parked peers drain via the failure flag the worker frame sets.
+      remap_pending_ = false;
+      throw;
+    }
+    // Migration volume: every moved task's buffer region must be
+    // re-established at its new host, and the packets currently buffered
+    // on edges with a moved endpoint cross the interface once more.
+    for (TaskId t = 0; t < mapping_.task_count(); ++t) {
+      if (post.pe_of(t) != mapping_.pe_of(t)) {
+        ++faults_.migrated_tasks;
+        faults_.migrated_bytes += analysis_.task_buffer_bytes(t);
+      }
+    }
+    for (EdgeId e = 0; e < graph_.edge_count(); ++e) {
+      const Edge& edge = graph_.edge(e);
+      if (post.pe_of(edge.from) == mapping_.pe_of(edge.from) &&
+          post.pe_of(edge.to) == mapping_.pe_of(edge.to)) {
+        continue;
+      }
+      for (const Packet& packet : edges_[e].packets) {
+        faults_.migrated_bytes += static_cast<double>(packet.size());
+      }
+    }
+    mapping_ = std::move(post);
+    rebuild_placement_locked();
+    ++faults_.failovers;
+    faults_.failed_pe = static_cast<std::int64_t>(dead_pe_);
+    faults_.fail_instance = injector_->fail_instance();
+    faults_.downtime_seconds +=
+        seconds_between(drain_start_, Clock::now());
+    failover_done_ = true;
+    remap_pending_ = false;
+    progress_locked(dead_pe_);
   }
 
   // Top-level worker frame: nothing may escape a std::thread body, so any
@@ -248,10 +399,10 @@ class Runtime {
   // flush below runs exactly once per worker whether the loop completed
   // the stream, drained after a peer's failure, or threw itself —
   // Recorder::flush_pe asserts that exactly-once contract.
-  void worker(PeId pe, const std::vector<TaskId>& assigned) {
+  void worker(PeId pe) {
     WorkerLocal local;
     try {
-      worker_loop(pe, assigned, local);
+      worker_loop(pe, local);
     } catch (...) {
       {
         std::lock_guard<std::mutex> guard(mutex_);
@@ -260,22 +411,53 @@ class Runtime {
       cv_.notify_all();
     }
     std::lock_guard<std::mutex> guard(mutex_);
+    --active_workers_;
+    cv_.notify_all();  // drain-barrier arithmetic may have changed
+    faults_.merge(local.faults);
     recorder_.flush_pe(pe, local.counters);
     trace_.insert(trace_.end(), local.trace.begin(), local.trace.end());
   }
 
-  void worker_loop(PeId pe, const std::vector<TaskId>& assigned,
-                   WorkerLocal& local) {
+  void worker_loop(PeId pe, WorkerLocal& local) {
     std::size_t cursor = 0;
     std::unique_lock<std::mutex> lock(mutex_);
-    while (!timed_out_ && failure_ == nullptr) {
-      // Find a runnable task, round-robin for fairness.
+    while (true) {
+      if (timed_out_ || failure_ != nullptr) return;
+      if (done_count_ >= opt_.instances) return;
+
+      if (remap_pending_) {
+        if (pe == dead_pe_) {
+          // Coordinator: wait for every other live worker to park at the
+          // drain barrier, then execute the remap.
+          if (parked_ + 1 >= active_workers_) {
+            perform_failover_locked();
+            cv_.notify_all();
+            continue;  // next iteration sees pe_dead_ and exits
+          }
+          wait_watchdog(lock);
+          continue;
+        }
+        // Peer: park until the coordinator finishes (or the run aborts).
+        // Parking is NOT progress — a drain stuck behind a hung body
+        // still trips the watchdog.
+        ++parked_;
+        cv_.notify_all();  // the coordinator recounts the barrier
+        while (remap_pending_ && !timed_out_ && failure_ == nullptr) {
+          wait_watchdog(lock);
+        }
+        --parked_;
+        continue;
+      }
+
+      if (pe_dead_[pe]) return;
+
+      // Find a runnable task, round-robin for fairness.  pe_tasks_ is
+      // re-read every iteration: a failover remap may have changed it.
+      const std::vector<TaskId>& assigned = pe_tasks_[pe];
       TaskId chosen = 0;
       bool found = false;
-      bool all_done = true;
       for (std::size_t probe = 0; probe < assigned.size(); ++probe) {
         const TaskId t = assigned[(cursor + probe) % assigned.size()];
-        if (states_[t].next_instance < opt_.instances) all_done = false;
         if (runnable_locked(t)) {
           chosen = t;
           cursor = (cursor + probe + 1) % assigned.size();
@@ -283,14 +465,43 @@ class Runtime {
           break;
         }
       }
-      if (all_done) return;
       if (!found) {
-        if (cv_.wait_until(lock, deadline_) == std::cv_status::timeout) {
-          timed_out_ = true;
-          cv_.notify_all();
-          return;
-        }
+        wait_watchdog(lock);
         continue;
+      }
+
+      const std::int64_t instance = states_[chosen].next_instance;
+
+      // Permanent fail-stop: this PE refuses every instance past the fail
+      // index; instances below it (pipeline stragglers) still complete so
+      // the drain cut stays consistent.
+      if (injector_ && !failover_done_ &&
+          injector_->fail_stop(pe, instance)) {
+        begin_failover_locked(pe);
+        continue;
+      }
+
+      progress_locked(pe);
+
+      // Deterministic transient faults for this execution, drawn under
+      // the lock (the hang latch is shared state), served after unlock.
+      double dma_backoff = 0.0;
+      double hang_stall = 0.0;
+      double slow_factor = 1.0;
+      if (injector_) {
+        const TaskState& state = states_[chosen];
+        for (std::size_t k = 0; k < state.in_edges.size(); ++k) {
+          if (!state.in_remote[k]) continue;
+          dma_backoff += injector_->dma_delay(
+              fault::FaultInjector::TransferKind::kEdge, state.in_edges[k],
+              instance, &local.faults.dma_retries);
+        }
+        slow_factor = injector_->compute_factor(pe, instance);
+        const std::size_t hang = injector_->hang_index(pe, instance);
+        if (hang != fault::FaultInjector::npos && !hang_fired_[hang]) {
+          hang_fired_[hang] = 1;
+          hang_stall = injector_->hang_seconds(hang);
+        }
       }
 
       TaskInputs inputs = gather_locked(chosen);
@@ -298,33 +509,57 @@ class Runtime {
       // If the task (or the re-lock) throws, the unique_lock is released
       // by unwinding and worker() records the failure (and still flushes
       // whatever `local` accumulated so far).
+      if (dma_backoff > 0.0) {
+        // The consumer-side fetch of this instance's remote inputs hit
+        // the plan's retry/backoff sequence; data is delayed, never lost.
+        local.faults.backoff_seconds += dma_backoff;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(dma_backoff));
+      }
       const auto body_start = Clock::now();
       std::vector<Packet> outputs = tasks_[chosen](inputs);
       const auto body_end = Clock::now();
+      const double body_seconds = seconds_between(body_start, body_end);
+      double injected = hang_stall;
+      if (slow_factor > 1.0) {
+        const double slow = (slow_factor - 1.0) * body_seconds;
+        injected += slow;
+        local.faults.slowdown_seconds += slow;
+      }
+      if (hang_stall > 0.0) {
+        ++local.faults.hangs;
+        local.faults.hang_seconds += hang_stall;
+      }
+      if (injected > 0.0) {
+        // Injected stall is overhead, not compute: the occupation
+        // cross-check compares nominal work against the model.
+        local.counters.overhead_seconds += injected;
+        std::this_thread::sleep_for(std::chrono::duration<double>(injected));
+      }
       ++local.counters.tasks_executed;
-      local.counters.compute_seconds +=
-          std::chrono::duration<double>(body_end - body_start).count();
+      local.counters.compute_seconds += body_seconds;
       if (opt_.record_trace) {
         obs::TraceEvent event;
         event.kind = obs::TraceEvent::Kind::kCompute;
         event.name = graph_.task(chosen).name;
         event.pe = pe;
         event.src_pe = pe;
-        event.start =
-            std::chrono::duration<double>(body_start - start_).count();
-        event.end = std::chrono::duration<double>(body_end - start_).count();
+        event.start = seconds_between(start_, body_start);
+        event.end = seconds_between(start_, body_end);
         event.instance = inputs.instance;
         event.task = static_cast<std::int64_t>(chosen);
         local.trace.push_back(std::move(event));
       }
       lock.lock();
-      commit_locked(chosen, std::move(outputs), local);
+      commit_locked(pe, chosen, std::move(outputs), local);
       cv_.notify_all();
     }
   }
 
+  const SteadyStateAnalysis& analysis_;
   const TaskGraph& graph_;
-  const Mapping& mapping_;
+  const CellPlatform& platform_;
+  Mapping mapping_;  // by value: a failover remap rewrites it mid-run
   const std::vector<TaskFunction>& tasks_;
   RunOptions opt_;
 
@@ -335,13 +570,28 @@ class Runtime {
   std::mutex mutex_;
   std::condition_variable cv_;
   Clock::time_point start_{};
-  Clock::time_point deadline_{};
+  Clock::time_point last_progress_{};
+  Clock::duration watchdog_{};
   bool timed_out_ = false;
+  std::string stall_detail_;
   std::exception_ptr failure_ = nullptr;
   std::uint64_t tasks_executed_ = 0;
   std::int64_t done_count_ = 0;
   obs::Recorder recorder_;              // flushed into under mutex_
   std::vector<obs::TraceEvent> trace_;  // merged under mutex_ at flush
+  std::vector<double> heartbeat_;       // wall stamp of last progress per PE
+
+  // Fault machinery (all shared fields guarded by mutex_).
+  std::optional<fault::FaultInjector> injector_;
+  std::vector<char> hang_fired_;  // one-shot latch per hang spec
+  fault::FaultStats faults_;
+  std::vector<char> pe_dead_;
+  PeId dead_pe_ = 0;
+  bool remap_pending_ = false;
+  bool failover_done_ = false;
+  std::size_t parked_ = 0;
+  std::size_t active_workers_ = 0;
+  Clock::time_point drain_start_{};
 };
 
 }  // namespace

@@ -20,13 +20,28 @@
 //
 // The engine is deterministic in *values* (each task instance sees exactly
 // the packets the dataflow defines) though not in interleaving.
+//
+// Robustness (docs/ROBUSTNESS.md): a RunOptions::fault_plan injects
+// deterministic transient faults (DMA retry/backoff, compute slowdowns,
+// one-shot hangs) and at most one permanent PE fail-stop.  On a fail-stop
+// the runtime executes drain -> remap -> migrate -> resume: the failed
+// PE's worker stops accepting instances past the fail index, every live
+// worker parks at a consistent cut, the orphaned tasks are remapped onto
+// the surviving PEs (fault::remap_after_failure), and the stream resumes
+// — no instance is lost or duplicated (invariant I8).  Stall detection is
+// a per-worker progress watchdog: the deadline rearms on every task
+// selection, commit and failover step, so a slow-but-progressing run
+// never times out while a genuine stream-wide stall trips after one
+// quiet window.
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/steady_state.hpp"
+#include "fault/fault_plan.hpp"
 #include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 
@@ -51,13 +66,28 @@ using TaskFunction = std::function<std::vector<Packet>(const TaskInputs&)>;
 
 struct RunOptions {
   std::int64_t instances = 1000;
-  /// Abort (throw) if the stream has not finished after this many wall
-  /// seconds — guards tests against deadlocking task code.
+  /// Progress watchdog window: abort (throw) when NO worker makes
+  /// instance-level progress — task selection, commit, or a failover
+  /// step — for this many consecutive wall seconds.  The deadline rearms
+  /// on every progress event, so a slow-but-live run (TSan builds, tiny
+  /// machines) never trips it; a genuine stall — dataflow deadlock, hung
+  /// task code — trips after one quiet window and the error names the
+  /// stalled workers.
   double wall_timeout_seconds = 120.0;
   /// Record one obs::TraceEvent per task execution (wall seconds since
   /// run start) for the chrome-trace writer.  Off by default: tracing a
   /// long stream costs memory proportional to instances x tasks.
   bool record_trace = false;
+  /// Optional deterministic fault scenario (see src/fault/).  Transient
+  /// faults become real sleeps; a permanent fail-stop triggers the
+  /// drain -> remap -> migrate -> resume protocol described in the file
+  /// comment.  Borrowed, not owned; must outlive the call.
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// Remap strategy for degraded-mode failover: "greedy-mem" or
+  /// "greedy-cpu" (the fast constructive heuristics — the runtime is in
+  /// the failure path, so it never waits on a solver; use the simulator
+  /// coordinator's "milp" strategy to evaluate solver-quality remaps).
+  std::string failover_strategy = "greedy-mem";
 };
 
 struct RunStats {
@@ -76,13 +106,24 @@ struct RunStats {
   /// Per-execution events (empty unless RunOptions::record_trace), wall
   /// seconds since run start; feed obs::write_chrome_trace.
   std::vector<obs::TraceEvent> trace;
+  /// Fault counters of the run (all zero without a plan).
+  fault::FaultStats faults;
+  /// Mapping in effect when the stream finished — differs from the input
+  /// mapping exactly when a failover remap ran.
+  Mapping final_mapping;
+  /// Per-edge end-to-end accounting: packets the producer pushed and
+  /// packets the consumer retired.  Both equal `instances` on a complete
+  /// run — invariant I8's raw material.
+  std::vector<std::int64_t> edge_produced;
+  std::vector<std::int64_t> edge_delivered;
 };
 
 /// Execute `options.instances` stream instances of the analysis' graph
-/// under `mapping`, one worker thread per *used* PE.  `tasks[k]` is the
-/// body of task k; every task must be provided.  Throws on malformed
-/// input, on a task returning the wrong number of packets, and on
-/// timeout.
+/// under `mapping`, one worker thread per *used* PE (every PE when a
+/// fail-stop plan is active — an idle PE may inherit remapped tasks).
+/// `tasks[k]` is the body of task k; every task must be provided.  Throws
+/// on malformed input, on a task returning the wrong number of packets,
+/// and on a watchdog stall.
 RunStats run_stream(const SteadyStateAnalysis& analysis,
                     const Mapping& mapping,
                     const std::vector<TaskFunction>& tasks,

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <limits>
 #include <optional>
+#include <set>
 #include <string>
 
 #include "des/engine.hpp"
 #include "des/flow_network.hpp"
+#include "fault/injector.hpp"
 #include "support/strings.hpp"
 
 namespace cellstream::sim {
@@ -29,9 +31,15 @@ struct EdgeState {
   std::int64_t depth = 0;   // buffer capacity in instances
   double bytes = 0.0;
   std::int64_t produced = 0;  // instances written by the producer
-  std::int64_t fetched = 0;   // instances landed at the consumer (remote)
+  std::int64_t fetched = 0;   // contiguous landing frontier at the consumer
+  std::int64_t issued = 0;    // DMAs ever issued (remote)
   std::int64_t inflight = 0;  // DMAs in the air (remote)
   std::int64_t consumed = 0;  // instances the consumer is finished with
+  /// Instances whose DMA completed while an earlier one is still in the
+  /// air (possible only under injected retry stalls).  The consumer reads
+  /// its cyclic buffer in order, so data becomes *usable* only when the
+  /// contiguous frontier reaches it.
+  std::set<std::int64_t> landed_ooo;
 };
 
 struct TaskState {
@@ -39,9 +47,10 @@ struct TaskState {
   double work = 0.0;  // seconds per instance on its host
   int peek = 0;
   std::int64_t next_instance = 0;
-  // Main-memory streams.
+  // Main-memory streams (same frontier discipline as EdgeState).
   double read_bytes = 0.0;
-  std::int64_t mem_fetched = 0, mem_inflight = 0;
+  std::int64_t mem_fetched = 0, mem_issued = 0, mem_inflight = 0;
+  std::set<std::int64_t> mem_landed_ooo;
   double write_bytes = 0.0;
   std::int64_t writes_started = 0, writes_done = 0;
 };
@@ -81,6 +90,17 @@ class Simulator {
                       format_bytes(u.buffer_bytes[pe]) + "); mapping cannot "
                       "be loaded on real hardware");
       }
+    }
+    if (opt_.fault_plan != nullptr && !opt_.fault_plan->empty()) {
+      opt_.fault_plan->validate(platform_);
+      CS_ENSURE(opt_.instance_offset >= 0,
+                "simulate: instance_offset must be >= 0");
+      CS_ENSURE(!opt_.fault_plan->pe_failure,
+                "simulate: plans with a permanent fail-stop need the "
+                "failover coordinator (fault::run_with_failover); the raw "
+                "simulator models transient faults only");
+      injector_.emplace(*opt_.fault_plan);
+      hang_fired_.assign(opt_.fault_plan->hangs.size(), 0);
     }
     build_state();
     register_chip_links();
@@ -152,6 +172,11 @@ class Simulator {
   // timestamps) — the single source of truth for SimResult's accounting.
   obs::Recorder recorder_;
   std::vector<TraceEvent> trace_;
+
+  // Deterministic fault injection (engaged only when a plan is supplied).
+  std::optional<fault::FaultInjector> injector_;
+  std::vector<char> hang_fired_;  // one-shot latch per hang spec
+  fault::FaultStats faults_;
 };
 
 void Simulator::register_chip_links() {
@@ -244,14 +269,36 @@ void Simulator::step(PeId pe) {
     return;
   }
 
-  // Computation phase: process one instance of a runnable task.
+  // Computation phase: process one instance of a runnable task.  Injected
+  // faults (slowdown windows, one-shot hangs) stretch the busy period; the
+  // extra time is recorded as overhead, never as work, so the occupation
+  // cross-check (I7/I9) keeps comparing nominal work against the model.
   if (const std::optional<TaskId> task = find_runnable(pe)) {
-    const double duration = opt_.dispatch_overhead + tasks_[*task].work;
+    double injected = 0.0;
+    if (injector_) {
+      const TaskState& ts = tasks_[*task];
+      const std::int64_t gi = ts.next_instance + opt_.instance_offset;
+      const double slow = (injector_->compute_factor(pe, gi) - 1.0) * ts.work;
+      if (slow > 0.0) {
+        injected += slow;
+        faults_.slowdown_seconds += slow;
+      }
+      const std::size_t hang = injector_->hang_index(pe, gi);
+      if (hang != fault::FaultInjector::npos && !hang_fired_[hang]) {
+        hang_fired_[hang] = 1;
+        const double stall = injector_->hang_seconds(hang);
+        injected += stall;
+        ++faults_.hangs;
+        faults_.hang_seconds += stall;
+      }
+    }
+    const double duration =
+        opt_.dispatch_overhead + tasks_[*task].work + injected;
     state.busy = true;
-    engine_.schedule_in(duration, [this, pe, t = *task] {
+    engine_.schedule_in(duration, [this, pe, t = *task, injected] {
       PeState& s = pes_[pe];
       s.busy = false;
-      recorder_.on_overhead(pe, opt_.dispatch_overhead);
+      recorder_.on_overhead(pe, opt_.dispatch_overhead + injected);
       recorder_.on_execution(pe, tasks_[t].work);
       if (opt_.record_trace) {
         TraceEvent ev;
@@ -259,7 +306,9 @@ void Simulator::step(PeId pe) {
         ev.name = graph_.task(t).name;
         ev.pe = pe;
         ev.src_pe = pe;
-        ev.start = engine_.now() - tasks_[t].work;
+        // The window covers the whole processing of the instance, injected
+        // stall included, so per-PE windows never overlap (I6).
+        ev.start = engine_.now() - tasks_[t].work - injected;
         ev.end = engine_.now();
         ev.instance = tasks_[t].next_instance;
         ev.task = static_cast<std::int64_t>(t);
@@ -279,7 +328,7 @@ bool Simulator::channel_issuable(PeId pe, const Channel& channel) const {
   switch (channel.kind) {
     case Channel::Kind::kEdgeFetch: {
       const EdgeState& e = edges_[channel.index];
-      const std::int64_t next_fetch = e.fetched + e.inflight;
+      const std::int64_t next_fetch = e.issued;
       if (next_fetch >= e.produced) return false;             // nothing new
       if (next_fetch - e.consumed >= e.depth) return false;   // in-buf full
       if (is_spe) {
@@ -294,7 +343,7 @@ bool Simulator::channel_issuable(PeId pe, const Channel& channel) const {
     }
     case Channel::Kind::kMemRead: {
       const TaskState& t = tasks_[channel.index];
-      const std::int64_t next_fetch = t.mem_fetched + t.mem_inflight;
+      const std::int64_t next_fetch = t.mem_issued;
       if (next_fetch >= stream_len()) return false;  // stream exhausted
       if (next_fetch - t.next_instance >=
           static_cast<std::int64_t>(opt_.memory_stream_depth)) {
@@ -343,11 +392,27 @@ void Simulator::issue(PeId pe, const Channel& channel) {
         recorder_.on_proxy_queue_depth(e.src, pes_[e.src].proxy_outstanding);
       }
       const double t0 = engine_.now();
-      const std::int64_t inst = e.fetched + e.inflight - 1;
-      start_edge_transfer(e, pe, [this, eid, pe, proxy, t0, inst] {
+      const std::int64_t inst = e.issued;
+      ++e.issued;
+      // A failed DMA attempt holds its queue slot through the seeded
+      // retry/backoff delay, then the transfer proceeds normally — data is
+      // delayed, never lost.  The trace window [t0, end] spans the stall,
+      // matching the slot-occupancy convention the I4 replay checks.
+      const double stall =
+          injector_ ? injector_->dma_delay(
+                          fault::FaultInjector::TransferKind::kEdge, eid,
+                          inst + opt_.instance_offset, &faults_.dma_retries)
+                    : 0.0;
+      auto launch = [this, eid, pe, proxy, t0, inst] {
+        start_edge_transfer(edges_[eid], pe, [this, eid, pe, proxy, t0, inst] {
         EdgeState& edge = edges_[eid];
         --edge.inflight;
-        ++edge.fetched;  // consumer has the data; producer slot unlocked
+        // Land the instance, then advance the contiguous frontier: under
+        // injected retry stalls a later DMA can complete first, but the
+        // consumer reads its cyclic buffer in order, so the data (and the
+        // producer's slot) only unlock frontier-contiguously.
+        edge.landed_ooo.insert(inst);
+        while (edge.landed_ooo.erase(edge.fetched) > 0) ++edge.fetched;
         if (platform_.is_spe(pe)) --pes_[pe].gets_outstanding;
         if (proxy) --pes_[edge.src].proxy_outstanding;
         // Interface accounting: a remote edge crosses the producer's out
@@ -370,7 +435,14 @@ void Simulator::issue(PeId pe, const Channel& channel) {
         }
         wake(edge.src);  // output buffer slot freed
         wake(pe);        // input data available
-      });
+        });
+      };
+      if (stall > 0.0) {
+        faults_.backoff_seconds += stall;
+        engine_.schedule_in(stall, std::move(launch));
+      } else {
+        launch();
+      }
       return;
     }
     case Channel::Kind::kMemRead: {
@@ -382,11 +454,25 @@ void Simulator::issue(PeId pe, const Channel& channel) {
         recorder_.on_mfc_queue_depth(pe, state.gets_outstanding);
       }
       const double t0 = engine_.now();
-      net_.start_transfer(memory_node(), pe, t.read_bytes,
-                          [this, tid, pe, t0] {
+      const std::int64_t inst = t.mem_issued;
+      ++t.mem_issued;
+      const double read_stall =
+          injector_ ? injector_->dma_delay(
+                          fault::FaultInjector::TransferKind::kMemRead, tid,
+                          inst + opt_.instance_offset,
+                          &faults_.dma_retries)
+                    : 0.0;
+      auto launch_read = [this, tid, pe, t0, inst] {
+        net_.start_transfer(memory_node(), pe, tasks_[tid].read_bytes,
+                            [this, tid, pe, t0, inst] {
         TaskState& task = tasks_[tid];
         --task.mem_inflight;
-        ++task.mem_fetched;
+        // Same contiguous-frontier discipline as edge fetches: a stalled
+        // read must not let a later one unlock this instance's compute.
+        task.mem_landed_ooo.insert(inst);
+        while (task.mem_landed_ooo.erase(task.mem_fetched) > 0) {
+          ++task.mem_fetched;
+        }
         if (platform_.is_spe(pe)) --pes_[pe].gets_outstanding;
         // A memory stream read enters through the reader's in interface
         // (constraint 1g); main memory itself is unconstrained.
@@ -400,12 +486,19 @@ void Simulator::issue(PeId pe, const Channel& channel) {
           ev.src_pe = pe;
           ev.start = t0;
           ev.end = engine_.now();
-          ev.instance = task.mem_fetched - 1;
+          ev.instance = inst;
           ev.task = static_cast<std::int64_t>(tid);
           trace_.push_back(std::move(ev));
         }
         wake(pe);
-      });
+        });
+      };
+      if (read_stall > 0.0) {
+        faults_.backoff_seconds += read_stall;
+        engine_.schedule_in(read_stall, std::move(launch_read));
+      } else {
+        launch_read();
+      }
       return;
     }
     case Channel::Kind::kMemWrite: {
@@ -417,8 +510,16 @@ void Simulator::issue(PeId pe, const Channel& channel) {
         recorder_.on_mfc_queue_depth(pe, state.gets_outstanding);
       }
       const double t0 = engine_.now();
-      net_.start_transfer(pe, memory_node(), t.write_bytes,
-                          [this, tid, pe, t0] {
+      const std::int64_t inst = t.writes_started - 1;
+      const double write_stall =
+          injector_ ? injector_->dma_delay(
+                          fault::FaultInjector::TransferKind::kMemWrite, tid,
+                          inst + opt_.instance_offset,
+                          &faults_.dma_retries)
+                    : 0.0;
+      auto launch_write = [this, tid, pe, t0, inst] {
+        net_.start_transfer(pe, memory_node(), tasks_[tid].write_bytes,
+                            [this, tid, pe, t0, inst] {
         TaskState& task = tasks_[tid];
         ++task.writes_done;
         if (platform_.is_spe(pe)) --pes_[pe].gets_outstanding;
@@ -436,12 +537,19 @@ void Simulator::issue(PeId pe, const Channel& channel) {
           ev.src_pe = pe;
           ev.start = t0;
           ev.end = engine_.now();
-          ev.instance = task.writes_done - 1;
+          ev.instance = inst;
           ev.task = static_cast<std::int64_t>(tid);
           trace_.push_back(std::move(ev));
         }
         wake(pe);
-      });
+        });
+      };
+      if (write_stall > 0.0) {
+        faults_.backoff_seconds += write_stall;
+        engine_.schedule_in(write_stall, std::move(launch_write));
+      } else {
+        launch_write();
+      }
       return;
     }
   }
@@ -561,6 +669,14 @@ SimResult Simulator::run() {
   }
   result.dma_transfers = result.counters.total_transfers();
   result.trace = std::move(trace_);
+  result.faults = faults_;
+  result.edge_produced.resize(graph_.edge_count());
+  result.edge_delivered.resize(graph_.edge_count());
+  for (EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    result.edge_produced[e] = edges_[e].produced;
+    result.edge_delivered[e] =
+        edges_[e].remote ? edges_[e].fetched : edges_[e].produced;
+  }
   return result;
 }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/steady_state.hpp"
+#include "fault/fault_plan.hpp"
 #include "obs/recorder.hpp"
 #include "sim/trace.hpp"
 
@@ -51,6 +52,19 @@ struct SimOptions {
   /// Record a full execution trace (see sim/trace.hpp).  Off by default:
   /// a 10k-instance run generates millions of events.
   bool record_trace = false;
+  /// Optional deterministic fault scenario (see src/fault/): transient
+  /// compute slowdowns, one-shot hangs and DMA retry/backoff delays are
+  /// injected into the run; the extra time is accounted as overhead so
+  /// the I7/I9 occupation cross-check stays exact.  Plans containing a
+  /// permanent PE fail-stop are rejected here — drive those through
+  /// fault::run_with_failover, which splits the stream around the loss.
+  /// The plan is borrowed, not owned; it must outlive the call.
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// Index of the first instance of this run within the whole stream.
+  /// The failover coordinator simulates the post-failure phase with the
+  /// offset set to the drain frontier, so instance-keyed faults (DMA
+  /// draws, slowdown windows) line up with the global stream position.
+  std::int64_t instance_offset = 0;
 };
 
 struct SimResult {
@@ -72,6 +86,13 @@ struct SimResult {
   obs::Counters counters;
   /// Execution trace (empty unless SimOptions::record_trace).
   std::vector<TraceEvent> trace;
+  /// Fault counters accumulated by the run (all zero without a plan).
+  fault::FaultStats faults;
+  /// Per-edge end-to-end accounting at the end of the run: instances the
+  /// producer wrote and instances that landed at the consumer.  Equal to
+  /// the stream length on a complete run — invariant I8's raw material.
+  std::vector<std::int64_t> edge_produced;
+  std::vector<std::int64_t> edge_delivered;
 
   /// Sliding-window throughput curve (the paper's Fig. 6): one sample per
   /// completed instance index multiple of `stride`, computed over the

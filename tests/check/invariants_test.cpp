@@ -341,7 +341,7 @@ TEST(CheckInvariants, CleanPipelineRunPassesEveryInvariant) {
   const InvariantReport report = check_invariants(analysis, mapping, result);
   EXPECT_TRUE(report.ok()) << report.to_string();
   EXPECT_TRUE(report.trace_checked);
-  EXPECT_EQ(report.checks_run, 7u);
+  EXPECT_EQ(report.checks_run, 8u);  // I1-I8 (I9 needs a failover outcome)
   EXPECT_GT(report.trace_events_seen, 0u);
 }
 
@@ -355,7 +355,7 @@ TEST(CheckInvariants, TraceChecksAreSkippedWithoutATrace) {
   const InvariantReport report = check_invariants(analysis, mapping, result);
   EXPECT_TRUE(report.ok()) << report.to_string();
   EXPECT_FALSE(report.trace_checked);
-  EXPECT_EQ(report.checks_run, 4u);
+  EXPECT_EQ(report.checks_run, 5u);  // I1-I3, I7, I8; trace families skipped
 }
 
 // -- I7: predicted-vs-observed occupation ----------------------------------
@@ -428,6 +428,93 @@ TEST(Occupation, SkipsWallClockAndEmptyRuns) {
   obs::Counters empty;
   empty.pe.resize(analysis.platform().pe_count());
   EXPECT_TRUE(check_occupation(analysis, mapping, empty).empty());
+}
+
+// -- I8: stream integrity --------------------------------------------------
+
+TEST(StreamIntegrity, FlagsLostAndDuplicatedInstances) {
+  const TaskGraph graph = chain_graph();
+
+  StreamAccounting lost;
+  lost.instances_completed = 9;  // one short of the stream
+  lost.edge_produced = {10};
+  lost.edge_delivered = {10};
+  EXPECT_TRUE(has_invariant(check_stream_integrity(graph, lost, 10),
+                            "stream-integrity"));
+
+  StreamAccounting duplicated;
+  duplicated.instances_completed = 11;  // one extra
+  duplicated.edge_produced = {10};
+  duplicated.edge_delivered = {10};
+  EXPECT_TRUE(has_invariant(check_stream_integrity(graph, duplicated, 10),
+                            "stream-integrity"));
+}
+
+TEST(StreamIntegrity, FlagsEdgesNotDeliveredExactlyOncePerInstance) {
+  const TaskGraph graph = chain_graph();
+
+  StreamAccounting undelivered;
+  undelivered.instances_completed = 10;
+  undelivered.edge_produced = {10};
+  undelivered.edge_delivered = {9};  // a packet vanished in flight
+  EXPECT_TRUE(has_invariant(check_stream_integrity(graph, undelivered, 10),
+                            "stream-integrity"));
+
+  StreamAccounting overproduced;
+  overproduced.instances_completed = 10;
+  overproduced.edge_produced = {11};  // a packet was pushed twice
+  overproduced.edge_delivered = {10};
+  EXPECT_TRUE(has_invariant(check_stream_integrity(graph, overproduced, 10),
+                            "stream-integrity"));
+
+  StreamAccounting clean;
+  clean.instances_completed = 10;
+  clean.edge_produced = {10};
+  clean.edge_delivered = {10};
+  EXPECT_TRUE(check_stream_integrity(graph, clean, 10).empty());
+}
+
+TEST(StreamIntegrity, AcceptsARealSimulatedRunEndToEnd) {
+  const TaskGraph graph = chain_graph();
+  const SteadyStateAnalysis ss(graph, platforms::qs22_single_cell());
+  Mapping mapping(2, 0);
+  mapping.assign(0, 1);
+  mapping.assign(1, 2);
+  sim::SimOptions options;
+  options.instances = 50;
+  const sim::SimResult run = sim::simulate(ss, mapping, options);
+  EXPECT_TRUE(
+      check_stream_integrity(graph, accounting_of(run), 50).empty());
+}
+
+// -- I9: degraded-mapping conformance --------------------------------------
+
+TEST(DegradedMapping, FlagsTasksLeftOnAFailedPe) {
+  const TaskGraph graph = chain_graph();
+  const SteadyStateAnalysis ss(graph, platforms::qs22_single_cell());
+  Mapping mapping(2, 0);
+  mapping.assign(0, 1);  // task 0 still sits on the "failed" PE 1
+  mapping.assign(1, 2);
+  sim::SimOptions options;
+  options.instances = 30;
+  const sim::SimResult run = sim::simulate(ss, mapping, options);
+
+  EXPECT_TRUE(has_invariant(
+      check_degraded_mapping(ss, mapping, {1}, run.counters),
+      "degraded-mapping"));
+}
+
+TEST(DegradedMapping, AcceptsAMappingThatEvacuatedTheFailedPe) {
+  const TaskGraph graph = chain_graph();
+  const SteadyStateAnalysis ss(graph, platforms::qs22_single_cell());
+  Mapping post(2, 0);
+  post.assign(0, 2);  // both tasks off PE 1
+  post.assign(1, 3);
+  sim::SimOptions options;
+  options.instances = 30;
+  const sim::SimResult run = sim::simulate(ss, post, options);
+
+  EXPECT_TRUE(check_degraded_mapping(ss, post, {1}, run.counters).empty());
 }
 
 TEST(Occupation, FlagsQueuePeaksAboveHardwareDepth) {

@@ -1,0 +1,174 @@
+// The fault model's contracts: plans are deterministic in their seed,
+// serialize exactly, reject nonsense, and the injector is a pure function
+// of (seed, kind, object, instance) — the property that makes injection
+// identical across executors and thread interleavings.
+
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/injector.hpp"
+#include "platform/cell.hpp"
+#include "support/error.hpp"
+
+namespace cellstream::fault {
+namespace {
+
+const CellPlatform& platform() {
+  static const CellPlatform p = platforms::qs22_single_cell();
+  return p;
+}
+
+TEST(FaultPlan, RandomPlansAreSeedDeterministicAndValid) {
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    const FaultPlan a = FaultPlan::random(seed, platform(), 500);
+    const FaultPlan b = FaultPlan::random(seed, platform(), 500);
+    EXPECT_EQ(a.to_text(), b.to_text()) << "seed " << seed;
+    EXPECT_NO_THROW(a.validate(platform())) << "seed " << seed;
+    // Random plans only fail-stop SPEs: losing the last PPE is
+    // unsurvivable by construction.
+    if (a.pe_failure) {
+      EXPECT_TRUE(platform().is_spe(a.pe_failure->pe));
+    }
+  }
+  EXPECT_NE(FaultPlan::random(1, platform(), 500).to_text(),
+            FaultPlan::random(2, platform(), 500).to_text());
+}
+
+TEST(FaultPlan, TextRoundTripsExactly) {
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    const FaultPlan plan = FaultPlan::random(seed, platform(), 300);
+    const std::string text = plan.to_text();
+    EXPECT_EQ(FaultPlan::from_text(text).to_text(), text) << "seed " << seed;
+  }
+  // A hand-written plan with every section populated.
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.pe_failure = PeFailure{3, 42};
+  plan.slowdowns.push_back({2, 10, 20, 2.5});
+  plan.hangs.push_back({4, 7, 0.25});
+  plan.dma = {0.125, 6, 1.5e-5, 0.75};
+  const std::string text = plan.to_text();
+  EXPECT_EQ(FaultPlan::from_text(text).to_text(), text);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_TRUE(FaultPlan{}.empty());
+}
+
+TEST(FaultPlan, ValidateRejectsNonsense) {
+  FaultPlan bad_pe;
+  bad_pe.pe_failure = PeFailure{static_cast<PeId>(platform().pe_count()), 0};
+  EXPECT_THROW(bad_pe.validate(platform()), Error);
+
+  FaultPlan bad_factor;
+  bad_factor.slowdowns.push_back({0, 0, 10, 0.5});
+  EXPECT_THROW(bad_factor.validate(platform()), Error);
+
+  FaultPlan bad_rate;
+  bad_rate.dma.rate = 1.0;  // certain failure never completes
+  EXPECT_THROW(bad_rate.validate(platform()), Error);
+
+  FaultPlan bad_window;
+  bad_window.slowdowns.push_back({0, 20, 10, 2.0});
+  EXPECT_THROW(bad_window.validate(platform()), Error);
+}
+
+TEST(FaultInjector, DrawsArePureFunctionsOfTheKey) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.dma = {0.2, 5, 2.0e-5, 0.5};
+  const FaultInjector a(plan);
+  const FaultInjector b(plan);  // independent copy: no shared state
+
+  for (std::uint64_t object = 0; object < 8; ++object) {
+    for (std::int64_t instance = 0; instance < 64; ++instance) {
+      const int f1 = a.dma_failures(FaultInjector::TransferKind::kEdge, object,
+                                    instance);
+      const int f2 = b.dma_failures(FaultInjector::TransferKind::kEdge, object,
+                                    instance);
+      EXPECT_EQ(f1, f2);
+      EXPECT_GE(f1, 0);
+      EXPECT_LE(f1, plan.dma.max_retries);
+      // Re-asking the same oracle must not change the answer (no internal
+      // state advanced by the first call).
+      EXPECT_EQ(a.dma_failures(FaultInjector::TransferKind::kEdge, object,
+                               instance),
+                f1);
+    }
+  }
+}
+
+TEST(FaultInjector, TransferKindsAndObjectsDrawIndependently) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.dma = {0.5, 8, 2.0e-5, 0.5};
+  const FaultInjector inj(plan);
+
+  // With rate 0.5 the three kinds cannot produce identical failure counts
+  // across 256 instances unless they share a stream.
+  int diff_kind = 0, diff_object = 0;
+  for (std::int64_t i = 0; i < 256; ++i) {
+    using TK = FaultInjector::TransferKind;
+    if (inj.dma_failures(TK::kEdge, 0, i) !=
+        inj.dma_failures(TK::kMemRead, 0, i)) {
+      ++diff_kind;
+    }
+    if (inj.dma_failures(TK::kEdge, 0, i) !=
+        inj.dma_failures(TK::kEdge, 1, i)) {
+      ++diff_object;
+    }
+  }
+  EXPECT_GT(diff_kind, 0);
+  EXPECT_GT(diff_object, 0);
+}
+
+TEST(FaultInjector, DmaBackoffGrowsWithFailuresAndIsDeterministic) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.dma = {0.3, 6, 1.0e-5, 0.5};
+  const FaultInjector inj(plan);
+  using TK = FaultInjector::TransferKind;
+
+  double prev = 0.0;
+  for (int failures = 0; failures <= plan.dma.max_retries; ++failures) {
+    const double d = inj.dma_backoff(TK::kEdge, 4, 10, failures);
+    EXPECT_EQ(d, inj.dma_backoff(TK::kEdge, 4, 10, failures));
+    EXPECT_GE(d, prev);  // more failed attempts, more total backoff
+    if (failures > 0) {
+      // Exponential floor: sum of backoff * 2^a over failed attempts.
+      double floor = 0.0;
+      for (int a = 0; a < failures; ++a) {
+        floor += plan.dma.backoff_seconds * static_cast<double>(1 << a);
+      }
+      EXPECT_GE(d, floor - 1e-15);
+      EXPECT_LE(d, floor * (1.0 + plan.dma.jitter) + 1e-15);
+    }
+    prev = d;
+  }
+
+  std::int64_t retries = 0;
+  const double delay = inj.dma_delay(TK::kEdge, 4, 10, &retries);
+  EXPECT_EQ(delay, inj.dma_backoff(TK::kEdge, 4, 10,
+                                   static_cast<int>(retries)));
+}
+
+TEST(FaultInjector, FailStopAndComputeFactorFollowThePlan) {
+  FaultPlan plan;
+  plan.pe_failure = PeFailure{2, 100};
+  plan.slowdowns.push_back({3, 10, 19, 2.0});
+  plan.slowdowns.push_back({3, 15, 24, 3.0});  // overlaps [15, 19]
+  const FaultInjector inj(plan);
+
+  EXPECT_FALSE(inj.fail_stop(2, 99));
+  EXPECT_TRUE(inj.fail_stop(2, 100));
+  EXPECT_TRUE(inj.fail_stop(2, 5000));
+  EXPECT_FALSE(inj.fail_stop(1, 100));
+
+  EXPECT_DOUBLE_EQ(inj.compute_factor(3, 9), 1.0);
+  EXPECT_DOUBLE_EQ(inj.compute_factor(3, 12), 2.0);
+  EXPECT_DOUBLE_EQ(inj.compute_factor(3, 17), 6.0);  // windows compose
+  EXPECT_DOUBLE_EQ(inj.compute_factor(3, 24), 3.0);
+  EXPECT_DOUBLE_EQ(inj.compute_factor(2, 17), 1.0);  // other PE untouched
+}
+
+}  // namespace
+}  // namespace cellstream::fault

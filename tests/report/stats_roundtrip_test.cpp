@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "core/steady_state.hpp"
+#include "fault/failover.hpp"
 #include "mapping/milp_mapper.hpp"
 #include "sim/simulator.hpp"
 #include "support/json.hpp"
@@ -173,6 +174,106 @@ TEST(StatsRoundTrip, SolverSectionRoundTripsForMilpMappings) {
   // The MILP minimizes the period, so the last incumbent is the period
   // the mapper reports (recomputed by the analysis; 5 % default gap).
   EXPECT_NEAR(prev, solved.period, 0.05 * solved.period + 1e-12);
+}
+
+TEST(StatsRoundTrip, FaultSectionRoundTripsForFaultedRuns) {
+  WorkedExample ex;
+  const SteadyStateAnalysis ss(ex.graph, platforms::qs22_single_cell());
+
+  // Fail-stop SPE1 (PE 2, hosting T1) mid-stream, with a light transient
+  // DMA fault load so every counter family is exercised.
+  fault::FaultPlan plan;
+  plan.seed = 404;
+  plan.pe_failure = fault::PeFailure{2, 120};
+  plan.dma.rate = 0.02;
+  plan.dma.max_retries = 4;
+  plan.dma.backoff_seconds = 5.0e-5;
+
+  fault::FailoverOptions options;
+  options.sim.instances = 240;
+  const fault::FailoverOutcome outcome =
+      fault::run_with_failover(ss, ex.mapping, plan, options);
+  ASSERT_TRUE(outcome.failover_performed);
+
+  obs::Report report =
+      obs::build_report(ss, outcome.post_mapping, outcome.result.counters);
+  report.faults = fault::fault_summary(outcome.result.faults,
+                                       outcome.predicted_post_throughput);
+
+  const json::Value doc = json::Value::parse(stats_json(report));
+  const std::vector<std::string> problems = validate_stats_json(doc);
+  for (const std::string& p : problems) ADD_FAILURE() << p;
+  ASSERT_TRUE(problems.empty());
+
+  const json::Value& faults = doc.at("faults");
+  ASSERT_TRUE(faults.is_object());
+  EXPECT_EQ(faults.at("failovers").as_number(), 1.0);
+  EXPECT_EQ(faults.at("failed_pe").as_number(), 2.0);
+  EXPECT_EQ(faults.at("fail_instance").as_number(), 120.0);
+  EXPECT_GT(faults.at("migrated_tasks").as_number(), 0.0);
+  EXPECT_GT(faults.at("migrated_bytes").as_number(), 0.0);
+  EXPECT_GT(faults.at("downtime_seconds").as_number(), 0.0);
+  EXPECT_GT(faults.at("dma_retries").as_number(), 0.0);
+  EXPECT_GT(faults.at("backoff_seconds").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(faults.at("predicted_post_throughput").as_number(),
+                   outcome.predicted_post_throughput);
+  EXPECT_EQ(faults.at("migrated_tasks").as_number(),
+            static_cast<double>(outcome.result.faults.migrated_tasks));
+}
+
+TEST(StatsRoundTrip, FaultSectionIsNullWithoutAFaultPlan) {
+  WorkedExample ex;
+  const obs::Report report = simulate_report(ex, 50);
+  const json::Value doc = json::Value::parse(stats_json(report));
+  EXPECT_TRUE(validate_stats_json(doc).empty());
+  ASSERT_TRUE(doc.has("faults"));
+  EXPECT_TRUE(doc.at("faults").is_null());
+}
+
+TEST(StatsRoundTrip, ValidatorAcceptsLegacyV1AndEnforcesFaultsPresence) {
+  WorkedExample ex;
+  const obs::Report report = simulate_report(ex, 50);
+  const json::Value v2 = stats_to_json(report);
+  ASSERT_TRUE(validate_stats_json(v2).empty());
+
+  // A legacy v1 document is the v2 document minus the faults section
+  // (json::Value has no erase, so rebuild by copying the other keys).
+  json::Value v1 = json::Value::object();
+  v1.set("schema", json::Value(kStatsSchemaV1));
+  for (const char* key :
+       {"graph", "platform", "run", "predicted", "observed", "crosscheck",
+        "resources", "convergence", "solver"}) {
+    v1.set(key, v2.at(key));
+  }
+  EXPECT_TRUE(validate_stats_json(v1).empty());
+
+  // v1 carrying the v2-only section is drift, as is v2 missing it.
+  json::Value v1_with_faults = v1;
+  v1_with_faults.set("faults", json::Value());
+  EXPECT_FALSE(validate_stats_json(v1_with_faults).empty());
+
+  json::Value v2_without_faults = v1;
+  v2_without_faults.set("schema", json::Value(kStatsSchema));
+  EXPECT_FALSE(validate_stats_json(v2_without_faults).empty());
+
+  // Internal consistency: a failover count without a failed PE (or the
+  // reverse) cannot come from the real counters.
+  json::Value inconsistent = v2;
+  json::Value faults = json::Value::object();
+  faults.set("dma_retries", json::Value(std::int64_t{0}));
+  faults.set("backoff_seconds", json::Value(0.0));
+  faults.set("hangs", json::Value(std::int64_t{0}));
+  faults.set("hang_seconds", json::Value(0.0));
+  faults.set("slowdown_seconds", json::Value(0.0));
+  faults.set("failovers", json::Value(std::int64_t{1}));
+  faults.set("downtime_seconds", json::Value(1.0e-3));
+  faults.set("migrated_tasks", json::Value(std::int64_t{2}));
+  faults.set("migrated_bytes", json::Value(8192.0));
+  faults.set("failed_pe", json::Value(std::int64_t{-1}));  // inconsistent
+  faults.set("fail_instance", json::Value(std::int64_t{10}));
+  faults.set("predicted_post_throughput", json::Value(900.0));
+  inconsistent.set("faults", std::move(faults));
+  EXPECT_FALSE(validate_stats_json(inconsistent).empty());
 }
 
 TEST(StatsRoundTrip, ValidatorCatchesSchemaDrift) {
