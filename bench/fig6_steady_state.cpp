@@ -6,11 +6,18 @@
 //   * steady state is reached after roughly 1000 instances,
 //   * the steady-state experimental throughput is ~95 % of the throughput
 //     predicted by the linear program.
+//
+// `--json [path]` additionally re-runs the simulation with the
+// steady-state fast-forward disabled, checks both runs are bit-identical,
+// and appends a "fig6" section (LP prediction, steady throughput, wall
+// seconds full vs. fast-forward — target >= 20x) to BENCH_sim.json.
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cellstream;
+  const std::string json_path = bench::json_output_path(argc, argv);
   bench::print_header("fig6_steady_state",
                       "Figure 6 (throughput vs. number of instances)");
 
@@ -27,8 +34,10 @@ int main() {
               lp.throughput);
 
   const std::size_t instances = bench::bench_instances(10000);
+  bench::WallTimer timer;
   const sim::SimResult sim =
       sim::simulate(analysis, lp.mapping, bench::paper_sim_options(instances));
+  const double ff_seconds = timer.seconds();
 
   report::Series theoretical{"theoretical_inst_per_s", {}};
   report::Series experimental{"experimental_inst_per_s", {}};
@@ -57,6 +66,50 @@ int main() {
                   instance);
       break;
     }
+  }
+
+  if (!json_path.empty()) {
+    // Same scenario with the fast-forward off: the wall-clock ratio is
+    // the optimization's headline number, and the equality check is the
+    // D6 soundness argument applied to the shipping configuration.
+    sim::SimOptions full_options = bench::paper_sim_options(instances);
+    full_options.fast_forward = false;
+    timer.reset();
+    const sim::SimResult full =
+        sim::simulate(analysis, lp.mapping, full_options);
+    const double full_seconds = timer.seconds();
+    CS_ENSURE(full.makespan == sim.makespan &&
+                  full.steady_throughput == sim.steady_throughput,
+              "fig6: fast-forward run diverged from the full run");
+
+    json::Value section = json::Value::object();
+    section.set("schema", 1);
+    section.set("instances", static_cast<std::uint64_t>(instances));
+    section.set("lp_throughput", lp.throughput);
+    section.set("steady_throughput", sim.steady_throughput);
+    section.set("ratio_to_lp", ratio);
+    section.set("full_seconds", full_seconds);
+    section.set("ff_seconds", ff_seconds);
+    section.set("ff_engaged", sim.fast_forward.engaged);
+    section.set("ff_speedup",
+                ff_seconds > 0.0 ? full_seconds / ff_seconds : 0.0);
+    json::Value series = json::Value::array();
+    for (const auto& [instance, tput] : experimental.points) {
+      json::Value point = json::Value::object();
+      point.set("instance", instance);
+      point.set("instances_per_sec", tput);
+      series.push_back(std::move(point));
+    }
+    section.set("experimental_series", std::move(series));
+    bench::update_bench_json(json_path, "fig6", std::move(section));
+    bench::check_bench_json(json_path, "fig6",
+                            {"schema", "instances", "lp_throughput",
+                             "full_seconds", "ff_seconds", "ff_speedup"});
+    std::printf("\nfast-forward wall clock: full %.3fs vs ff %.3fs -> %.1fx "
+                "(target >= 20x); wrote section \"fig6\" to %s\n",
+                full_seconds, ff_seconds,
+                ff_seconds > 0.0 ? full_seconds / ff_seconds : 0.0,
+                json_path.c_str());
   }
   return 0;
 }

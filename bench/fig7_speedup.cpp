@@ -7,15 +7,28 @@
 //   * LP mappings scale with the SPE count, reaching 2-3x at 8 SPEs,
 //   * both greedy heuristics stall around <= ~1.3x,
 //   * speed-up is normalized to the PPE-only throughput.
+//
+// The MILP solves run serially (they are internally parallel already);
+// the 27 speed-up simulations per graph then fan out across the scenario
+// batch runner — each job owns its SPE count and builds its own analysis,
+// so results are identical to a serial sweep at any thread count.
+// `--json [path]` appends a "fig7" section with the full series.
+
+#include <array>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "sim/batch.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cellstream;
+  const std::string json_path = bench::json_output_path(argc, argv);
   bench::print_header("fig7_speedup",
                       "Figure 7a-c (speed-up vs. number of SPEs, CCR 0.775)");
 
   const std::size_t instances = bench::bench_instances(5000);
+  const bench::WallTimer timer;
+  json::Value graphs = json::Value::array();
 
   for (int graph_idx = 0; graph_idx < 3; ++graph_idx) {
     TaskGraph graph = gen::paper_graph(graph_idx);
@@ -23,27 +36,45 @@ int main() {
     std::printf("--- %s (Figure 7%c) ---\n", graph.name().c_str(),
                 static_cast<char>('a' + graph_idx));
 
-    report::Series lp_series{"LinearProgramming", {}};
-    report::Series cpu_series{"GreedyCPU", {}};
-    report::Series mem_series{"GreedyMEM", {}};
-
+    struct Point {
+      Mapping cpu, mem, lp;
+    };
+    std::vector<Point> points;
     for (std::size_t spes = 0; spes <= 8; ++spes) {
       const CellPlatform platform = platforms::qs22_with_spes(spes);
       const SteadyStateAnalysis analysis(graph, platform);
-
-      const Mapping greedy_cpu = mapping::greedy_cpu(analysis);
-      const Mapping greedy_mem = mapping::greedy_mem(analysis);
       const mapping::MilpMapperResult lp = mapping::solve_optimal_mapping(
           analysis, bench::paper_milp_options());
-
-      const double x = static_cast<double>(spes);
-      lp_series.points.emplace_back(
-          x, bench::simulated_speedup(analysis, lp.mapping, instances));
-      cpu_series.points.emplace_back(
-          x, bench::simulated_speedup(analysis, greedy_cpu, instances));
-      mem_series.points.emplace_back(
-          x, bench::simulated_speedup(analysis, greedy_mem, instances));
+      points.push_back(Point{mapping::greedy_cpu(analysis),
+                             mapping::greedy_mem(analysis), lp.mapping});
       std::fflush(stdout);
+    }
+
+    // {cpu, mem, lp} speed-ups per SPE count, batched.  Each job copies
+    // the graph and builds its own analysis: jobs share nothing mutable.
+    const auto speedups =
+        sim::run_batch_collect<std::array<double, 3>>(
+            points.size(), [&graph, &points, instances](std::size_t spes) {
+              TaskGraph g = graph;
+              const SteadyStateAnalysis analysis(
+                  std::move(g), platforms::qs22_with_spes(spes));
+              return std::array<double, 3>{
+                  bench::simulated_speedup(analysis, points[spes].cpu,
+                                           instances),
+                  bench::simulated_speedup(analysis, points[spes].mem,
+                                           instances),
+                  bench::simulated_speedup(analysis, points[spes].lp,
+                                           instances)};
+            });
+
+    report::Series lp_series{"LinearProgramming", {}};
+    report::Series cpu_series{"GreedyCPU", {}};
+    report::Series mem_series{"GreedyMEM", {}};
+    for (std::size_t spes = 0; spes < speedups.size(); ++spes) {
+      const double x = static_cast<double>(spes);
+      cpu_series.points.emplace_back(x, speedups[spes][0]);
+      mem_series.points.emplace_back(x, speedups[spes][1]);
+      lp_series.points.emplace_back(x, speedups[spes][2]);
     }
 
     std::printf("%s\n", report::render_series(
@@ -55,6 +86,34 @@ int main() {
     std::printf("at 8 SPEs: LP %.2fx vs best heuristic %.2fx  "
                 "(paper: LP 2-3x, heuristics <= ~1.3x)\n\n",
                 lp8, best_heuristic8);
+
+    json::Value entry = json::Value::object();
+    entry.set("name", graph.name());
+    json::Value series = json::Value::array();
+    for (std::size_t spes = 0; spes < speedups.size(); ++spes) {
+      json::Value point = json::Value::object();
+      point.set("spes", static_cast<std::uint64_t>(spes));
+      point.set("greedy_cpu", speedups[spes][0]);
+      point.set("greedy_mem", speedups[spes][1]);
+      point.set("lp", speedups[spes][2]);
+      series.push_back(std::move(point));
+    }
+    entry.set("series", std::move(series));
+    graphs.push_back(std::move(entry));
+  }
+
+  if (!json_path.empty()) {
+    json::Value section = json::Value::object();
+    section.set("schema", 1);
+    section.set("instances", static_cast<std::uint64_t>(instances));
+    section.set("batch_threads",
+                static_cast<std::uint64_t>(sim::default_batch_threads()));
+    section.set("wall_seconds", timer.seconds());
+    section.set("graphs", std::move(graphs));
+    bench::update_bench_json(json_path, "fig7", std::move(section));
+    bench::check_bench_json(json_path, "fig7",
+                            {"schema", "instances", "graphs"});
+    std::printf("wrote section \"fig7\" to %s\n", json_path.c_str());
   }
   return 0;
 }

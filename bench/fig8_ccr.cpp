@@ -6,22 +6,31 @@
 //   * speed-up decreases as the CCR grows,
 //   * at high CCR the best policy degenerates to "everything on the PPE"
 //     and the speed-up approaches 1.
+//
+// MILP solves run serially; the speed-up simulations for all
+// (graph, CCR) points then fan out across the scenario batch runner.
+// `--json [path]` appends a "fig8" section with the full series.
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "sim/batch.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cellstream;
+  const std::string json_path = bench::json_output_path(argc, argv);
   bench::print_header("fig8_ccr",
                       "Figure 8 (speed-up vs. CCR, LP mapping, 8 SPEs)");
 
   const std::size_t instances = bench::bench_instances(5000);
   const CellPlatform platform = platforms::qs22_single_cell();
+  const bench::WallTimer timer;
 
-  std::vector<report::Series> series;
-  for (int graph_idx = 0; graph_idx < 3; ++graph_idx) {
-    series.push_back({"RandomGraph" + std::to_string(graph_idx + 1), {}});
-  }
-
+  struct Point {
+    int graph_idx;
+    double ccr;
+    Mapping lp;
+  };
+  std::vector<Point> points;
   for (int graph_idx = 0; graph_idx < 3; ++graph_idx) {
     for (double ccr : gen::kPaperCcrValues) {
       TaskGraph graph = gen::paper_graph(graph_idx);
@@ -29,15 +38,31 @@ int main() {
       const SteadyStateAnalysis analysis(graph, platform);
       const mapping::MilpMapperResult lp = mapping::solve_optimal_mapping(
           analysis, bench::paper_milp_options());
-      const double speedup =
-          bench::simulated_speedup(analysis, lp.mapping, instances);
-      series[graph_idx].points.emplace_back(ccr, speedup);
-      std::printf("graph %d ccr %-5g -> speed-up %.2f (milp %s, gap %.3f, "
-                  "%.1fs)\n",
-                  graph_idx + 1, ccr, speedup, milp::to_string(lp.status),
-                  lp.gap, lp.solve_seconds);
+      points.push_back(Point{graph_idx, ccr, lp.mapping});
+      std::printf("graph %d ccr %-5g solved (milp %s, gap %.3f, %.1fs)\n",
+                  graph_idx + 1, ccr, milp::to_string(lp.status), lp.gap,
+                  lp.solve_seconds);
       std::fflush(stdout);
     }
+  }
+
+  // All (graph, CCR) speed-up simulations in one batch; each job rebuilds
+  // its own graph and analysis from its point, sharing nothing mutable.
+  const std::vector<double> speedups = sim::run_batch_collect<double>(
+      points.size(), [&points, &platform, instances](std::size_t i) {
+        TaskGraph graph = gen::paper_graph(points[i].graph_idx);
+        gen::set_ccr(graph, points[i].ccr);
+        const SteadyStateAnalysis analysis(std::move(graph), platform);
+        return bench::simulated_speedup(analysis, points[i].lp, instances);
+      });
+
+  std::vector<report::Series> series;
+  for (int graph_idx = 0; graph_idx < 3; ++graph_idx) {
+    series.push_back({"RandomGraph" + std::to_string(graph_idx + 1), {}});
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    series[points[i].graph_idx].points.emplace_back(points[i].ccr,
+                                                    speedups[i]);
   }
 
   std::printf("\n%s\n", report::render_series("ccr", series, 4).c_str());
@@ -47,6 +72,34 @@ int main() {
                 "(paper: decreasing toward 1)\n",
                 graph_idx + 1, pts.front().second, pts.front().first,
                 pts.back().second, pts.back().first);
+  }
+
+  if (!json_path.empty()) {
+    json::Value section = json::Value::object();
+    section.set("schema", 1);
+    section.set("instances", static_cast<std::uint64_t>(instances));
+    section.set("batch_threads",
+                static_cast<std::uint64_t>(sim::default_batch_threads()));
+    section.set("wall_seconds", timer.seconds());
+    json::Value graphs = json::Value::array();
+    for (int graph_idx = 0; graph_idx < 3; ++graph_idx) {
+      json::Value entry = json::Value::object();
+      entry.set("name", series[graph_idx].name);
+      json::Value pts = json::Value::array();
+      for (const auto& [ccr, speedup] : series[graph_idx].points) {
+        json::Value point = json::Value::object();
+        point.set("ccr", ccr);
+        point.set("lp", speedup);
+        pts.push_back(std::move(point));
+      }
+      entry.set("series", std::move(pts));
+      graphs.push_back(std::move(entry));
+    }
+    section.set("graphs", std::move(graphs));
+    bench::update_bench_json(json_path, "fig8", std::move(section));
+    bench::check_bench_json(json_path, "fig8",
+                            {"schema", "instances", "graphs"});
+    std::printf("wrote section \"fig8\" to %s\n", json_path.c_str());
   }
   return 0;
 }

@@ -1,13 +1,35 @@
 // Micro-benchmarks (google-benchmark) for the simulation substrates: the
 // discrete-event engine, the max-min fair flow network, and end-to-end
 // Cell simulation throughput (simulated instances per wall second).
+//
+// `micro_sim --json [path]` switches to a machine-readable mode that
+// measures three headline numbers and appends a "micro_sim" section to
+// the shared bench document (BENCH_sim.json by default):
+//   * engine events/sec, new pooled core vs. a faithful replica of the
+//     pre-overhaul std::function/unordered_map core (target: >= 5x),
+//   * simulated instances/sec with the steady-state fast-forward off
+//     vs. on (results must stay bit-identical),
+//   * batched scenario sweep, serial vs. thread pool (results must be
+//     byte-identical at any thread count).
+// Scales honor CELLSTREAM_BENCH_EVENTS / CELLSTREAM_BENCH_INSTANCES so
+// the bench-smoke ctest can run a reduced version of the same code path.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "des/engine.hpp"
 #include "des/flow_network.hpp"
 #include "gen/daggen.hpp"
 #include "mapping/heuristics.hpp"
+#include "sim/batch.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -70,6 +92,268 @@ void BM_CellSimulation(benchmark::State& state) {
 BENCHMARK(BM_CellSimulation)->Arg(20)->Arg(50)->Arg(94)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// --json mode
+// ---------------------------------------------------------------------------
+
+// Faithful replica of the event core this PR replaced (see git history of
+// src/des/engine.*): per-event std::function actions keyed through an
+// unordered_map, cancellation by map erase, tombstones skipped on pop.
+// Kept here so the engine speed-up in BENCH_sim.json is always measured
+// against the real before, not a guess.
+class LegacyEngine {
+ public:
+  using EventId = std::uint64_t;
+
+  EventId schedule_at(double at, std::function<void()> action) {
+    const EventId id = next_id_++;
+    queue_.push(Entry{at, id});
+    actions_.emplace(id, std::move(action));
+    return id;
+  }
+
+  void cancel(EventId id) { actions_.erase(id); }
+
+  void run() {
+    while (!queue_.empty()) {
+      const Entry entry = queue_.top();
+      queue_.pop();
+      auto it = actions_.find(entry.id);
+      if (it == actions_.end()) continue;  // tombstone
+      now_ = entry.at;
+      std::function<void()> action = std::move(it->second);
+      actions_.erase(it);
+      action();
+    }
+  }
+
+ private:
+  struct Entry {
+    double at;
+    EventId id;
+    bool operator>(const Entry& other) const {
+      if (at != other.at) return at > other.at;
+      return id > other.id;
+    }
+  };
+  double now_ = 0.0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<EventId, std::function<void()>> actions_;
+};
+
+// The simulator's hot-path pattern, distilled: a shallow self-sustaining
+// chain (each fired event schedules its successor, like a PE's next
+// communication/computation phase) plus `Watchdogs` timers per event that
+// are scheduled far ahead and cancelled (like the retry/backoff timers
+// fault runs reschedule constantly).  The closure is ~40 bytes — past
+// std::function's inline buffer, inside des::InlineAction's — so the
+// legacy core pays a heap allocation per schedule and accumulates every
+// cancelled timer as a queue tombstone, while the new core stays
+// allocation-free and compacts.
+template <typename EngineT, int Watchdogs>
+struct ChainEvent {
+  EngineT* engine = nullptr;
+  std::uint64_t* remaining = nullptr;
+  std::uint64_t* sink = nullptr;
+  double at = 0.0;
+  std::uint64_t salt = 0;
+  void operator()() const {
+    *sink += salt;
+    if (*remaining == 0) return;
+    --*remaining;
+    ChainEvent next = *this;
+    next.at = at + static_cast<double>(salt % 7 + 1);
+    next.salt = salt * 2654435761u % 971;
+    engine->schedule_at(next.at, next);
+    for (int w = 0; w < Watchdogs; ++w) {
+      engine->cancel(engine->schedule_at(next.at + 1e6 + w, next));
+    }
+  }
+};
+
+// Run `events` chained events through 64 concurrent chains; returns the
+// best events/sec over `reps` runs.  Identical event semantics on both
+// engines.
+template <typename EngineT, int Watchdogs>
+double engine_events_per_sec(std::size_t events, int reps) {
+  constexpr std::size_t kChains = 64;
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::uint64_t sink = 0;
+    std::uint64_t remaining = events > kChains ? events - kChains : 0;
+    EngineT engine;
+    const bench::WallTimer timer;
+    for (std::size_t i = 0; i < kChains; ++i) {
+      ChainEvent<EngineT, Watchdogs> seed;
+      seed.engine = &engine;
+      seed.remaining = &remaining;
+      seed.sink = &sink;
+      seed.at = static_cast<double>(i % 7);
+      seed.salt = i + 1;
+      engine.schedule_at(seed.at, seed);
+    }
+    engine.run();
+    const double seconds = timer.seconds();
+    benchmark::DoNotOptimize(sink);
+    if (seconds > 0.0) {
+      best = std::max(best, static_cast<double>(events) / seconds);
+    }
+  }
+  return best;
+}
+
+// One steady/churn measurement pair as a JSON object.  Legacy and new
+// reps interleave (best of 4 each) so slow phases of a noisy host hit
+// both engines alike instead of biasing whichever ran second.
+template <int Watchdogs>
+json::Value engine_workload(std::size_t events, double* speedup_out) {
+  double legacy = 0.0;
+  double current = 0.0;
+  for (int rep = 0; rep < 4; ++rep) {
+    legacy = std::max(
+        legacy, engine_events_per_sec<LegacyEngine, Watchdogs>(events, 1));
+    current = std::max(
+        current, engine_events_per_sec<des::Engine, Watchdogs>(events, 1));
+  }
+  const double speedup = legacy > 0.0 ? current / legacy : 0.0;
+  json::Value row = json::Value::object();
+  row.set("cancelled_timers_per_event", Watchdogs);
+  row.set("legacy_events_per_sec", legacy);
+  row.set("events_per_sec", current);
+  row.set("speedup", speedup);
+  if (speedup_out != nullptr) *speedup_out = speedup;
+  return row;
+}
+
+int run_json_mode(const std::string& path) {
+  json::Value section = json::Value::object();
+  section.set("schema", 1);
+
+  // -- engine: new pooled core vs. the legacy replica ----------------------
+  // Two workloads: "steady" is the pure event chain, "churn" adds the
+  // fault-mode cancel pressure.  The headline number (and the >= 5x
+  // target) is churn — the scenario the pooled slots and lazy tombstone
+  // compaction were built for.
+  const std::size_t events = bench::env_size("CELLSTREAM_BENCH_EVENTS",
+                                             1000000);
+  double steady_speedup = 0.0;
+  double churn_speedup = 0.0;
+  json::Value engine = json::Value::object();
+  engine.set("events", static_cast<std::uint64_t>(events));
+  engine.set("steady", engine_workload<0>(events, &steady_speedup));
+  engine.set("churn", engine_workload<4>(events, &churn_speedup));
+  engine.set("speedup", churn_speedup);
+  section.set("engine", std::move(engine));
+  std::printf("engine: steady %.1fx, cancel-churn %.1fx vs the legacy core "
+              "(target >= 5x on churn)\n",
+              steady_speedup, churn_speedup);
+
+  // -- simulation: fast-forward off vs. on ---------------------------------
+  TaskGraph graph = gen::paper_graph(0);
+  gen::set_ccr(graph, 0.775);
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_single_cell());
+  const Mapping m = mapping::greedy_cpu(analysis);
+  const std::size_t instances = bench::bench_instances(10000);
+
+  sim::SimOptions full_options = bench::paper_sim_options(instances);
+  full_options.fast_forward = false;
+  bench::WallTimer timer;
+  const sim::SimResult full = sim::simulate(analysis, m, full_options);
+  const double full_seconds = timer.seconds();
+
+  sim::SimOptions ff_options = bench::paper_sim_options(instances);
+  timer.reset();
+  const sim::SimResult ff = sim::simulate(analysis, m, ff_options);
+  const double ff_seconds = timer.seconds();
+
+  CS_ENSURE(full.makespan == ff.makespan &&
+                full.steady_throughput == ff.steady_throughput,
+            "bench: fast-forward run diverged from the full run");
+  json::Value simulation = json::Value::object();
+  simulation.set("instances", static_cast<std::uint64_t>(instances));
+  simulation.set("full_seconds", full_seconds);
+  simulation.set("full_instances_per_sec",
+                 full_seconds > 0.0 ? instances / full_seconds : 0.0);
+  simulation.set("ff_seconds", ff_seconds);
+  simulation.set("ff_instances_per_sec",
+                 ff_seconds > 0.0 ? instances / ff_seconds : 0.0);
+  simulation.set("ff_engaged", ff.fast_forward.engaged);
+  simulation.set("ff_skipped_instances",
+                 static_cast<std::int64_t>(ff.fast_forward.skipped_instances));
+  simulation.set("ff_speedup",
+                 ff_seconds > 0.0 ? full_seconds / ff_seconds : 0.0);
+  section.set("simulation", std::move(simulation));
+  std::printf("simulation: %zu instances, full %.3fs, fast-forward %.3fs "
+              "(engaged=%d, %.1fx)\n",
+              instances, full_seconds, ff_seconds,
+              ff.fast_forward.engaged ? 1 : 0,
+              ff_seconds > 0.0 ? full_seconds / ff_seconds : 0.0);
+
+  // -- batch: serial vs. thread-pool scenario sweep ------------------------
+  const std::size_t scenarios = 12;
+  const std::size_t batch_instances = std::max<std::size_t>(
+      200, std::min<std::size_t>(2000, instances / 5));
+  const auto scenario_makespan = [batch_instances](std::size_t i) {
+    gen::DagGenParams params;
+    params.task_count = 40;
+    params.seed = 100 + i;
+    TaskGraph g = gen::daggen_random(params);
+    gen::set_ccr(g, 0.775);
+    const SteadyStateAnalysis a(std::move(g), platforms::qs22_single_cell());
+    sim::SimOptions options = bench::paper_sim_options(batch_instances);
+    options.fast_forward = false;  // keep every scenario event-by-event
+    return sim::simulate(a, mapping::greedy_cpu(a), options).makespan;
+  };
+  timer.reset();
+  const std::vector<double> serial = sim::run_batch_collect<double>(
+      scenarios, scenario_makespan, sim::BatchOptions{1});
+  const double serial_seconds = timer.seconds();
+  timer.reset();
+  const std::vector<double> pooled = sim::run_batch_collect<double>(
+      scenarios, scenario_makespan, sim::BatchOptions{0});
+  const double pooled_seconds = timer.seconds();
+  CS_ENSURE(serial == pooled,
+            "bench: pooled batch results differ from the serial run");
+  json::Value batch = json::Value::object();
+  batch.set("scenarios", static_cast<std::uint64_t>(scenarios));
+  batch.set("instances_per_scenario",
+            static_cast<std::uint64_t>(batch_instances));
+  batch.set("threads",
+            static_cast<std::uint64_t>(sim::default_batch_threads()));
+  batch.set("serial_seconds", serial_seconds);
+  batch.set("parallel_seconds", pooled_seconds);
+  batch.set("speedup",
+            pooled_seconds > 0.0 ? serial_seconds / pooled_seconds : 0.0);
+  section.set("batch", std::move(batch));
+  std::printf("batch: %zu scenarios, serial %.3fs, %zu threads %.3fs "
+              "(%.1fx, results identical)\n",
+              scenarios, serial_seconds, sim::default_batch_threads(),
+              pooled_seconds,
+              pooled_seconds > 0.0 ? serial_seconds / pooled_seconds : 0.0);
+
+  bench::update_bench_json(path, "micro_sim", std::move(section));
+  bench::check_bench_json(path, "micro_sim",
+                          {"schema", "engine", "simulation", "batch"});
+  std::printf("wrote section \"micro_sim\" to %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = cellstream::bench::json_output_path(argc, argv);
+  if (!json_path.empty()) {
+    try {
+      return run_json_mode(json_path);
+    } catch (const cellstream::Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,9 +5,9 @@
 //   $ ./audio_encoder [subband_groups]
 
 #include <cstdio>
-#include <cstdlib>
 
 #include "gen/apps.hpp"
+#include "support/parse.hpp"
 #include "mapping/heuristics.hpp"
 #include "mapping/local_search.hpp"
 #include "mapping/milp_mapper.hpp"
@@ -17,8 +17,15 @@
 int main(int argc, char** argv) {
   using namespace cellstream;
 
-  const std::size_t groups =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 8;
+  std::size_t groups = 8;
+  try {
+    if (argc > 1) {
+      groups = static_cast<std::size_t>(parse_u64(argv[1], "subband_groups"));
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
   const TaskGraph graph = gen::audio_encoder_graph(groups);
   const CellPlatform platform = platforms::qs22_single_cell();
   const SteadyStateAnalysis analysis(graph, platform);

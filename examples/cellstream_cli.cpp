@@ -11,7 +11,6 @@
 
 #include <cctype>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -26,6 +25,7 @@
 #include "obs/report.hpp"
 #include "report/stats_io.hpp"
 #include "support/json.hpp"
+#include "support/parse.hpp"
 #include "support/strings.hpp"
 #include "mapping/heuristics.hpp"
 #include "mapping/annealing.hpp"
@@ -103,8 +103,7 @@ fault::FaultPlan parse_fault_plan(const std::string& spec,
   }
   fault::FaultPlan plan =
       numeric ? fault::FaultPlan::random(
-                    static_cast<std::uint64_t>(std::atoll(spec.c_str())),
-                    platform, instances)
+                    parse_u64(spec, "fault-plan seed"), platform, instances)
               : fault::FaultPlan::from_text(read_file(spec));
   plan.validate(platform);
   return plan;
@@ -157,10 +156,10 @@ void print_fault_summary(const fault::FaultStats& faults) {
 int cmd_generate(int argc, char** argv) {
   if (argc < 4) return usage();
   gen::DagGenParams params;
-  params.task_count = static_cast<std::size_t>(std::atoi(argv[2]));
-  params.seed = static_cast<std::uint64_t>(std::atoll(argv[3]));
+  params.task_count = static_cast<std::size_t>(parse_u64(argv[2], "tasks"));
+  params.seed = parse_u64(argv[3], "seed");
   TaskGraph graph = gen::daggen_random(params);
-  if (argc > 4) gen::set_ccr(graph, std::atof(argv[4]));
+  if (argc > 4) gen::set_ccr(graph, parse_non_negative_double(argv[4], "ccr"));
   std::fputs(graph.to_text().c_str(), stdout);
   return 0;
 }
@@ -187,7 +186,7 @@ int cmd_solve(int argc, char** argv) {
   const TaskGraph graph = TaskGraph::from_text(read_file(argv[2]));
   const std::string strategy = argv[3];
   const std::size_t spes =
-      argc > 4 ? static_cast<std::size_t>(std::atoi(argv[4])) : 8;
+      argc > 4 ? static_cast<std::size_t>(parse_u64(argv[4], "spes")) : 8;
   const CellPlatform platform = platforms::qs22_with_spes(spes);
   const SteadyStateAnalysis analysis(graph, platform);
 
@@ -195,7 +194,8 @@ int cmd_solve(int argc, char** argv) {
   if (strategy == "milp") {
     mapping::MilpMapperOptions milp_options;
     if (argc > 5) {
-      milp_options.with_threads(static_cast<std::size_t>(std::atoi(argv[5])));
+      milp_options.with_threads(
+          static_cast<std::size_t>(parse_u64(argv[5], "threads")));
     }
     const mapping::MilpMapperResult r =
         mapping::solve_optimal_mapping(analysis, milp_options);
@@ -241,7 +241,7 @@ int cmd_simulate(int argc, char** argv) {
   sim::SimOptions options;
   if (args.positional.size() > 2) {
     options.instances =
-        static_cast<std::size_t>(std::atoi(args.positional[2].c_str()));
+        static_cast<std::size_t>(parse_u64(args.positional[2], "instances"));
   }
   const char* trace_path =
       args.positional.size() > 3 ? args.positional[3].c_str() : nullptr;
@@ -344,7 +344,8 @@ int cmd_run(int argc, char** argv) {
 
   runtime::RunOptions options;
   if (args.positional.size() > 2) {
-    options.instances = std::atoll(args.positional[2].c_str());
+    options.instances =
+        static_cast<std::int64_t>(parse_u64(args.positional[2], "instances"));
   }
   options.failover_strategy = args.failover;
   fault::FaultPlan plan;
@@ -395,7 +396,9 @@ int cmd_check(int argc, char** argv) {
   const Mapping mapping = Mapping::from_text(read_file(argv[3]));
   const SteadyStateAnalysis analysis(graph, platforms::qs22_single_cell());
   sim::SimOptions options;
-  if (argc > 4) options.instances = static_cast<std::size_t>(std::atoi(argv[4]));
+  if (argc > 4) {
+    options.instances = static_cast<std::size_t>(parse_u64(argv[4], "instances"));
+  }
   options.record_trace = true;
   const sim::SimResult run = sim::simulate(analysis, mapping, options);
   const check::InvariantReport report =
@@ -415,7 +418,7 @@ int cmd_stats(int argc, char** argv) {
   sim::SimOptions options;
   if (positional.size() > 2) {
     options.instances =
-        static_cast<std::size_t>(std::atoi(positional[2].c_str()));
+        static_cast<std::size_t>(parse_u64(positional[2], "instances"));
   }
   const std::string format = positional.size() > 3 ? positional[3] : "json";
   CS_ENSURE(format == "json" || format == "csv",

@@ -8,12 +8,12 @@
 //   cellstream_fuzz --case 1234567890    # reproduce one reported failure
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
 #include "check/fuzz_driver.hpp"
+#include "support/parse.hpp"
 
 namespace {
 
@@ -31,6 +31,8 @@ int usage() {
                "  --fault-prob <p>   fraction of cases run under faults\n"
                "                     (default 0; pass 1 when reproducing a\n"
                "                     '--faults' failure with --case)\n"
+               "  --threads <n>      case-sweep workers (0 = all cores; the\n"
+               "                     report is identical at any count)\n"
                "  --case <seed>      reproduce a single case by its seed\n");
   return 2;
 }
@@ -43,57 +45,58 @@ int main(int argc, char** argv) {
   bool have_single_case = false;
   std::uint64_t single_case_seed = 0;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next_u64 = [&](std::uint64_t& out_value) {
-      if (i + 1 >= argc) return false;
-      const char* text = argv[++i];
-      char* end = nullptr;
-      out_value = static_cast<std::uint64_t>(std::strtoull(text, &end, 10));
-      return end != text && *end == '\0';
-    };
-    const auto next_double = [&](double& out_value) {
-      if (i + 1 >= argc) return false;
-      const char* text = argv[++i];
-      char* end = nullptr;
-      out_value = std::strtod(text, &end);
-      return end != text && *end == '\0';
-    };
-    std::uint64_t value = 0;
-    double fraction = 0.0;
-    if (arg == "--smoke") {
-      // The CI budget: a fixed, deterministic seed set small enough for
-      // the ctest timeout (see tests/CMakeLists.txt) yet >= 100 pipelines.
-      options.base_seed = 2026;
-      options.cases = 120;
-      options.instances = 150;
-      options.milp_time_limit = 3.0;
-    } else if (arg == "--faults") {
-      // The fault sweep of the acceptance checklist: 200 deterministic
-      // cases, every one exercised under a random FaultPlan (most with a
-      // mid-stream SPE fail-stop) plus the I8/I9 oracle.
-      options.base_seed = 2027;
-      options.cases = 200;
-      options.instances = 150;
-      options.fault_probability = 1.0;
-      options.milp_time_limit = 3.0;
-    } else if (arg == "--fault-prob" && next_double(fraction)) {
-      options.fault_probability = fraction;
-    } else if (arg == "--cases" && next_u64(value)) {
-      options.cases = static_cast<std::size_t>(value);
-    } else if (arg == "--seed" && next_u64(value)) {
-      options.base_seed = value;
-    } else if (arg == "--instances" && next_u64(value)) {
-      options.instances = static_cast<std::size_t>(value);
-    } else if (arg == "--case" && next_u64(value)) {
-      have_single_case = true;
-      single_case_seed = value;
-    } else {
-      return usage();
-    }
-  }
-
   try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      // Flag values go through the checked parsers (support/parse.hpp), so
+      // "--cases 12abc" or "--seed -1" is a hard error naming the flag,
+      // not a silent zero or a wrapped unsigned value.
+      const auto next_u64 = [&](std::uint64_t& out_value) {
+        if (i + 1 >= argc) return false;
+        out_value = parse_u64(argv[++i], arg);
+        return true;
+      };
+      const auto next_double = [&](double& out_value) {
+        if (i + 1 >= argc) return false;
+        out_value = parse_non_negative_double(argv[++i], arg);
+        return true;
+      };
+      std::uint64_t value = 0;
+      double fraction = 0.0;
+      if (arg == "--smoke") {
+        // The CI budget: a fixed, deterministic seed set small enough for
+        // the ctest timeout (tests/CMakeLists.txt) yet >= 100 pipelines.
+        options.base_seed = 2026;
+        options.cases = 120;
+        options.instances = 150;
+        options.milp_time_limit = 3.0;
+      } else if (arg == "--faults") {
+        // The fault sweep of the acceptance checklist: 200 deterministic
+        // cases, every one exercised under a random FaultPlan (most with a
+        // mid-stream SPE fail-stop) plus the I8/I9 oracle.
+        options.base_seed = 2027;
+        options.cases = 200;
+        options.instances = 150;
+        options.fault_probability = 1.0;
+        options.milp_time_limit = 3.0;
+      } else if (arg == "--fault-prob" && next_double(fraction)) {
+        options.fault_probability = fraction;
+      } else if (arg == "--cases" && next_u64(value)) {
+        options.cases = static_cast<std::size_t>(value);
+      } else if (arg == "--seed" && next_u64(value)) {
+        options.base_seed = value;
+      } else if (arg == "--instances" && next_u64(value)) {
+        options.instances = static_cast<std::size_t>(value);
+      } else if (arg == "--threads" && next_u64(value)) {
+        options.threads = static_cast<std::size_t>(value);
+      } else if (arg == "--case" && next_u64(value)) {
+        have_single_case = true;
+        single_case_seed = value;
+      } else {
+        return usage();
+      }
+    }
+
     if (have_single_case) {
       const check::FuzzCase scenario =
           check::make_case(single_case_seed, options);

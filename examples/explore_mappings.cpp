@@ -7,9 +7,9 @@
 // a DOT rendering of the graph (pipe into `dot -Tpng` to visualize).
 
 #include <cstdio>
-#include <cstdlib>
 
 #include "gen/daggen.hpp"
+#include "support/parse.hpp"
 #include "mapping/heuristics.hpp"
 #include "mapping/annealing.hpp"
 #include "mapping/local_search.hpp"
@@ -21,9 +21,17 @@ int main(int argc, char** argv) {
   using namespace cellstream;
 
   gen::DagGenParams params;
-  params.task_count = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 30;
-  params.seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 1;
-  const double ccr = argc > 3 ? std::atof(argv[3]) : 0.775;
+  double ccr = 0.775;
+  try {
+    if (argc > 1) {
+      params.task_count = static_cast<std::size_t>(parse_u64(argv[1], "tasks"));
+    }
+    if (argc > 2) params.seed = parse_u64(argv[2], "seed");
+    if (argc > 3) ccr = parse_non_negative_double(argv[3], "ccr");
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 
   TaskGraph graph = gen::daggen_random(params);
   gen::set_ccr(graph, ccr);

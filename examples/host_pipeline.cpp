@@ -16,6 +16,7 @@
 
 #include "mapping/milp_mapper.hpp"
 #include "runtime/host_runtime.hpp"
+#include "support/parse.hpp"
 
 namespace {
 
@@ -50,7 +51,15 @@ std::vector<double> synthesize_block(std::int64_t instance) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::int64_t instances = argc > 1 ? std::atoll(argv[1]) : 2000;
+  std::int64_t instances = 2000;
+  try {
+    if (argc > 1) {
+      instances = static_cast<std::int64_t>(parse_u64(argv[1], "instances"));
+    }
+  } catch (const cellstream::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 
   // The task graph: costs describe the *Cell* execution the mapping is
   // optimized for; the host run then follows that mapping.

@@ -6,18 +6,23 @@
 //   $ ./video_pipeline [tiles]
 
 #include <cstdio>
-#include <cstdlib>
 
 #include "gen/apps.hpp"
 #include "mapping/milp_mapper.hpp"
+#include "support/parse.hpp"
 #include "report/table.hpp"
 #include "sim/simulator.hpp"
 
 int main(int argc, char** argv) {
   using namespace cellstream;
 
-  const std::size_t tiles =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 4;
+  std::size_t tiles = 4;
+  try {
+    if (argc > 1) tiles = static_cast<std::size_t>(parse_u64(argv[1], "tiles"));
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
   const TaskGraph graph = gen::video_pipeline_graph(tiles);
   std::printf("video pipeline: %zu tasks (%zu tiles), %zu edges\n",
               graph.task_count(), tiles, graph.edge_count());

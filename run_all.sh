@@ -2,8 +2,9 @@
 set -x
 
 # ./run_all.sh tsan — ThreadSanitizer sweep of the concurrent code paths
-# (parallel branch-and-bound workers, host runtime PE threads): separate
-# instrumented build tree, then the unit + property labels under TSan.
+# (parallel branch-and-bound workers, host runtime PE threads, scenario
+# batch runner): separate instrumented build tree, then the unit +
+# property labels under TSan.
 if [ "$1" = "tsan" ]; then
   cmake -B build-tsan -S . -DCELLSTREAM_TSAN=ON || exit 1
   cmake --build build-tsan -j "$(nproc)" || exit 1
@@ -18,6 +19,8 @@ ctest --test-dir build -L stats-smoke --output-on-failure 2>&1 \
   | tee /root/repo/stats_smoke_output.txt
 ctest --test-dir build -L fault-smoke --output-on-failure 2>&1 \
   | tee /root/repo/fault_smoke_output.txt
+ctest --test-dir build -L bench-smoke --output-on-failure 2>&1 \
+  | tee /root/repo/bench_smoke_output.txt
 build/examples/cellstream_fuzz --smoke 2>&1 | tee /root/repo/fuzz_output.txt
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue

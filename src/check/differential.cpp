@@ -203,6 +203,98 @@ DifferentialReport cross_check_mappers(const SteadyStateAnalysis& analysis,
   return report;
 }
 
+std::vector<Violation> check_fast_forward_equivalence(
+    const SteadyStateAnalysis& analysis, const Mapping& mapping,
+    const sim::SimOptions& base_options, bool* engaged) {
+  CS_ENSURE(!base_options.record_trace && base_options.fault_plan == nullptr,
+            "check_fast_forward_equivalence: traces and fault plans disable "
+            "the fast-forward; the rule would be vacuous");
+  std::vector<Violation> out;
+  const auto add6 = [&out](std::string detail) {
+    out.push_back({"differential-d6", std::move(detail)});
+  };
+
+  sim::SimOptions full_options = base_options;
+  full_options.fast_forward = false;
+  sim::SimOptions ff_options = base_options;
+  ff_options.fast_forward = true;
+  const sim::SimResult full = sim::simulate(analysis, mapping, full_options);
+  const sim::SimResult ff = sim::simulate(analysis, mapping, ff_options);
+  if (engaged != nullptr) *engaged = ff.fast_forward.engaged;
+
+  // Every comparison below is *bitwise* (operator== on doubles): the
+  // fast-forward promises a translation of the exact run, not a numeric
+  // approximation of it.
+  if (ff.completion_times != full.completion_times) {
+    std::size_t first = 0;
+    while (first < full.completion_times.size() &&
+           ff.completion_times.size() > first &&
+           ff.completion_times[first] == full.completion_times[first]) {
+      ++first;
+    }
+    add6("fast-forwarded completion times diverge from the full run at "
+         "instance " +
+         std::to_string(first) + " (" +
+         format_number(first < ff.completion_times.size()
+                           ? ff.completion_times[first]
+                           : -1.0) +
+         "s vs " +
+         format_number(first < full.completion_times.size()
+                           ? full.completion_times[first]
+                           : -1.0) +
+         "s)");
+  }
+  if (ff.makespan != full.makespan ||
+      ff.overall_throughput != full.overall_throughput ||
+      ff.steady_throughput != full.steady_throughput) {
+    add6("fast-forwarded aggregate stats differ: makespan " +
+         format_number(ff.makespan) + "s vs " + format_number(full.makespan) +
+         "s, steady throughput " + format_number(ff.steady_throughput) +
+         "/s vs " + format_number(full.steady_throughput) + "/s");
+  }
+  if (ff.dma_transfers != full.dma_transfers) {
+    add6("fast-forwarded transfer count differs: " +
+         std::to_string(ff.dma_transfers) + " vs " +
+         std::to_string(full.dma_transfers));
+  }
+  if (ff.pe_busy_seconds != full.pe_busy_seconds ||
+      ff.pe_overhead_seconds != full.pe_overhead_seconds) {
+    add6("fast-forwarded per-PE busy/overhead seconds are not bit-identical "
+         "to the full run");
+  }
+  for (std::size_t pe = 0; pe < full.counters.pe.size(); ++pe) {
+    const obs::PeCounters& a = ff.counters.pe[pe];
+    const obs::PeCounters& b = full.counters.pe[pe];
+    if (a.tasks_executed != b.tasks_executed ||
+        a.compute_seconds != b.compute_seconds ||
+        a.overhead_seconds != b.overhead_seconds ||
+        a.transfers_issued != b.transfers_issued ||
+        a.bytes_in != b.bytes_in || a.bytes_out != b.bytes_out ||
+        a.mfc_queue_peak != b.mfc_queue_peak ||
+        a.proxy_queue_peak != b.proxy_queue_peak) {
+      add6("fast-forwarded telemetry counters differ on PE " +
+           std::to_string(pe));
+    }
+  }
+  if (ff.edge_produced != full.edge_produced ||
+      ff.edge_delivered != full.edge_delivered) {
+    add6("fast-forwarded per-edge totals differ from the full run");
+  }
+
+  // The simulated period can never beat the analytic steady-state bound
+  // (the simulator only adds overheads the model ignores).
+  if (ff.fast_forward.engaged && ff.fast_forward.model_period > 0.0 &&
+      ff.fast_forward.period_ratio < 0.999) {
+    add6("detected cycle beats the analytic period bound: ratio " +
+         format_number(ff.fast_forward.period_ratio) + " (cycle " +
+         format_number(ff.fast_forward.cycle_seconds) + "s / " +
+         std::to_string(ff.fast_forward.cycle_instances) +
+         " instances vs model period " +
+         format_number(ff.fast_forward.model_period) + "s)");
+  }
+  return out;
+}
+
 std::string DifferentialReport::to_string() const {
   std::ostringstream os;
   os << outcomes.size() << " mappers cross-checked: "

@@ -16,7 +16,13 @@
 //       re-running the branch-and-bound with milp_threads workers must
 //       reproduce the exact mapping, period, best bound, node count, and
 //       pivot count (the solver's determinism-by-construction guarantee),
-//       checked whenever neither run was cut off by a time/node limit.
+//       checked whenever neither run was cut off by a time/node limit,
+//   D6  the simulator's steady-state fast-forward is an optimization, not
+//       an approximation: simulating the same (mapping, options) with
+//       fast_forward on and off must produce *bit-identical* final stats —
+//       every completion time, throughput, counter and per-edge total —
+//       and, when a cycle was detected, its observed period must not beat
+//       the analytic steady-state bound (docs/PERFORMANCE.md).
 //
 // check_outcomes() applies the rules to an arbitrary outcome set, so tests
 // can feed fabricated results and prove the oracle actually rejects them;
@@ -28,6 +34,7 @@
 
 #include "check/invariants.hpp"
 #include "core/steady_state.hpp"
+#include "sim/simulator.hpp"
 
 namespace cellstream::check {
 
@@ -81,5 +88,16 @@ std::vector<Violation> check_outcomes(
 /// options.max_tasks.
 DifferentialReport cross_check_mappers(const SteadyStateAnalysis& analysis,
                                        const DifferentialOptions& options = {});
+
+/// D6: simulate `mapping` twice — once with fast_forward forced off, once
+/// forced on — and require bit-identical results.  `base_options` supplies
+/// everything else (instances, overheads, ...); record_trace and
+/// fault_plan must be unset, since both auto-disable the fast-forward and
+/// would make the rule vacuous.  Returns the violations (empty = ok) and,
+/// via `engaged` if non-null, whether the fast-forwarded run actually
+/// skipped ahead (short or aperiodic runs legitimately never engage).
+std::vector<Violation> check_fast_forward_equivalence(
+    const SteadyStateAnalysis& analysis, const Mapping& mapping,
+    const sim::SimOptions& base_options, bool* engaged = nullptr);
 
 }  // namespace cellstream::check

@@ -8,6 +8,7 @@
 #include "gen/daggen.hpp"
 #include "mapping/heuristics.hpp"
 #include "schedule/periodic_schedule.hpp"
+#include "sim/batch.hpp"
 #include "sim/simulator.hpp"
 #include "support/rng.hpp"
 
@@ -187,11 +188,30 @@ std::vector<Violation> run_case(const FuzzCase& scenario,
 }
 
 FuzzReport run_fuzz(const FuzzOptions& options, std::ostream* log) {
+  // Cases are independent (everything derives from the case seed), so the
+  // sweep fans out over the batch runner; results land in per-case slots
+  // and the report below walks them in seed order, so the log and the
+  // failure list are byte-identical to a serial run at any thread count.
+  struct CaseResult {
+    FuzzCase scenario;
+    std::vector<Violation> violations;
+  };
+  sim::BatchOptions batch;
+  batch.threads = options.threads;
+  std::vector<CaseResult> results = sim::run_batch_collect<CaseResult>(
+      options.cases,
+      [&options](std::size_t i) {
+        CaseResult r;
+        r.scenario = make_case(case_seed_of(options.base_seed, i), options);
+        r.violations = run_case(r.scenario, options);
+        return r;
+      },
+      batch);
+
   FuzzReport report;
-  for (std::size_t i = 0; i < options.cases; ++i) {
-    const FuzzCase scenario =
-        make_case(case_seed_of(options.base_seed, i), options);
-    std::vector<Violation> violations = run_case(scenario, options);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const FuzzCase& scenario = results[i].scenario;
+    std::vector<Violation>& violations = results[i].violations;
     ++report.cases_run;
     ++report.pipelines_simulated;
     if (scenario.differential) ++report.differential_checks;

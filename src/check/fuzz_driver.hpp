@@ -39,6 +39,10 @@ struct FuzzOptions {
   /// default) draws nothing, so pre-existing case seeds reproduce
   /// byte-identically; `cellstream_fuzz --faults` turns the dimension on.
   double fault_probability = 0.0;
+  /// Worker threads for the case sweep (cases are seed-independent, so
+  /// the report is byte-identical at any thread count); 0 = hardware
+  /// concurrency, 1 = serial.
+  std::size_t threads = 0;
   InvariantOptions invariants;
 };
 

@@ -1,38 +1,87 @@
 #include "des/engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace cellstream::des {
 
-EventId Engine::schedule_at(Time at, std::function<void()> action) {
+namespace {
+// Below this heap size tombstone sweeps are not worth their O(n) cost.
+constexpr std::size_t kCompactMinEntries = 64;
+}  // namespace
+
+EventId Engine::schedule_at(Time at, InlineAction action) {
+  CS_ENSURE(std::isfinite(at), "schedule_at: non-finite time");
   CS_ENSURE(at >= now_, "schedule_at: event in the past");
-  CS_ENSURE(action != nullptr, "schedule_at: null action");
-  const EventId id = next_id_++;
-  queue_.push(Entry{at, id});
-  actions_.emplace(id, std::move(action));
+  CS_ENSURE(static_cast<bool>(action), "schedule_at: null action");
+  std::uint32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.action = std::move(action);
+  slot.at = at;
+  slot.seq = next_seq_++;
+  slot.live = true;
+  const EventId id = (static_cast<EventId>(slot.generation) << 32) | index;
+  heap_.push_back(Entry{at, slot.seq, id});
+  std::push_heap(heap_.begin(), heap_.end(), EntryLater{});
   ++pending_;
   return id;
 }
 
+void Engine::release(EventId id) {
+  const std::uint32_t index = slot_of(id);
+  Slot& slot = slots_[index];
+  slot.action.reset();
+  slot.live = false;
+  ++slot.generation;  // invalidates every outstanding handle to this slot
+  free_slots_.push_back(index);
+}
+
 void Engine::cancel(EventId id) {
-  if (actions_.erase(id) > 0) --pending_;
+  if (resolve(id) == nullptr) return;
+  release(id);
+  --pending_;
+  maybe_compact();
+}
+
+void Engine::maybe_compact() {
+  // Lazy tombstone sweep: heap entries whose slot died (cancelled events)
+  // are filtered out once they outnumber the live ones 4:1.  The factor
+  // trades a bounded amount of heap slack (at most 4x the live events
+  // plus the constant floor) for sweeps rare enough that cancel-heavy
+  // churn pays O(1) amortized per cancel instead of rescanning the heap
+  // every few events.
+  if (heap_.size() < kCompactMinEntries) return;
+  if (heap_.size() - pending_ <= 4 * pending_) return;
+  std::erase_if(heap_,
+                [this](const Entry& e) { return resolve(e.id) == nullptr; });
+  std::make_heap(heap_.begin(), heap_.end(), EntryLater{});
+}
+
+void Engine::drop_min_entry() {
+  std::pop_heap(heap_.begin(), heap_.end(), EntryLater{});
+  heap_.pop_back();
 }
 
 bool Engine::step() {
-  while (!queue_.empty()) {
-    const Entry entry = queue_.top();
-    auto it = actions_.find(entry.id);
-    if (it == actions_.end()) {
-      queue_.pop();  // tombstone
-      continue;
-    }
-    queue_.pop();
+  while (!heap_.empty()) {
+    const Entry entry = heap_.front();
+    drop_min_entry();
+    Slot* slot = resolve(entry.id);
+    if (slot == nullptr) continue;  // tombstone of a cancelled event
     CS_ASSERT(entry.at >= now_, "event queue went backwards");
     now_ = entry.at;
-    // Move the action out before invoking: the action may schedule or
-    // cancel other events (rehashing actions_).
-    std::function<void()> action = std::move(it->second);
-    actions_.erase(it);
+    // Free the slot before invoking: the action may schedule new events
+    // (reusing this slot under a fresh generation) or cancel its own
+    // already-fired id (a no-op, as documented).
+    InlineAction action = std::move(slot->action);
+    release(entry.id);
     --pending_;
     ++executed_;
     action();
@@ -42,22 +91,50 @@ bool Engine::step() {
 }
 
 void Engine::run_until(Time until) {
-  CS_ENSURE(until >= now_, "run_until: target in the past");
-  while (!queue_.empty()) {
+  CS_ENSURE(!std::isnan(until), "run_until: NaN target");
+  while (!heap_.empty()) {
     // Skip tombstones to see the true next event time.
-    if (actions_.find(queue_.top().id) == actions_.end()) {
-      queue_.pop();
+    if (resolve(heap_.front().id) == nullptr) {
+      drop_min_entry();
       continue;
     }
-    if (queue_.top().at > until) break;
+    if (heap_.front().at > until) break;
     step();
   }
+  // Advance to the boundary, but never move the clock backwards when the
+  // target is already in the past.
   now_ = std::max(now_, until);
 }
 
 void Engine::run() {
   while (step()) {
   }
+}
+
+Time Engine::time_of(EventId id) const {
+  const Slot* slot = resolve(id);
+  CS_ENSURE(slot != nullptr, "time_of: not a pending event");
+  return slot->at;
+}
+
+std::uint64_t Engine::sequence_of(EventId id) const {
+  const Slot* slot = resolve(id);
+  CS_ENSURE(slot != nullptr, "sequence_of: not a pending event");
+  return slot->seq;
+}
+
+void Engine::shift_time(Time delta) {
+  CS_ENSURE(std::isfinite(delta), "shift_time: non-finite delta");
+  CS_ENSURE(delta >= 0.0, "shift_time: negative delta");
+  if (delta == 0.0) return;
+  now_ += delta;
+  for (Slot& slot : slots_) {
+    if (slot.live) slot.at += delta;
+  }
+  for (Entry& entry : heap_) entry.at += delta;
+  // Adding a constant preserves order on an exact grid, but guard against
+  // callers shifting off-grid times where rounding could create ties.
+  std::make_heap(heap_.begin(), heap_.end(), EntryLater{});
 }
 
 }  // namespace cellstream::des

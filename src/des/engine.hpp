@@ -1,17 +1,24 @@
 #pragma once
 // Minimal discrete-event simulation engine.
 //
-// Time is a double in seconds.  Events are closures ordered by (time,
-// insertion sequence) so simultaneous events fire deterministically in
-// scheduling order.  Cancellation is by tombstone: cancelled events stay
-// in the heap but are skipped when popped.
+// Time is a double in seconds (the simulator layers an integer-nanosecond
+// grid on top; the engine itself only requires finite, non-decreasing
+// times).  Events are closures ordered by (time, insertion sequence) so
+// simultaneous events fire deterministically in scheduling order.
+//
+// The hot path is allocation-free: closures live inline in a pooled slot
+// (des::InlineAction), event handles pack (slot, generation) so a stale
+// or unknown cancel is a cheap no-op, and the ready queue is a plain
+// binary heap of POD entries.  Cancellation is by tombstone: a cancelled
+// event's heap entry stays behind and is skipped when popped; tombstones
+// are compacted lazily once they outnumber the live events, so
+// cancel-heavy fault runs cannot grow the heap unboundedly.
 
+#include <cmath>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "des/inline_action.hpp"
 #include "support/error.hpp"
 
 namespace cellstream::des {
@@ -23,12 +30,12 @@ class Engine {
  public:
   Time now() const { return now_; }
 
-  /// Schedule `action` at absolute time `at` (>= now); returns a handle
-  /// usable with cancel().
-  EventId schedule_at(Time at, std::function<void()> action);
+  /// Schedule `action` at absolute time `at` (finite, >= now); returns a
+  /// handle usable with cancel() / time_of() / sequence_of().
+  EventId schedule_at(Time at, InlineAction action);
 
-  /// Schedule `action` after a non-negative delay.
-  EventId schedule_in(Time delay, std::function<void()> action) {
+  /// Schedule `action` after a non-negative finite delay.
+  EventId schedule_in(Time delay, InlineAction action) {
     CS_ENSURE(delay >= 0.0, "schedule_in: negative delay");
     return schedule_at(now_ + delay, std::move(action));
   }
@@ -37,8 +44,10 @@ class Engine {
   /// a no-op.
   void cancel(EventId id);
 
-  /// Run until the queue drains or `until` is passed (events strictly
-  /// after `until` remain queued; now() advances to at most `until`).
+  /// Run until the queue drains or `until` is passed: events at exactly
+  /// `until` fire, events strictly after it remain queued, and now()
+  /// advances to at most `until`.  Calling with `until < now()` runs
+  /// nothing and never moves now() backwards.
   void run_until(Time until);
 
   /// Run until the queue is completely drained.
@@ -50,23 +59,73 @@ class Engine {
   /// Total events executed so far.
   std::uint64_t executed() const { return executed_; }
 
+  /// True while `id` names a scheduled, not-yet-fired, not-cancelled
+  /// event.
+  bool is_pending(EventId id) const { return resolve(id) != nullptr; }
+
+  /// Fire time of a pending event (throws on unknown/expired ids).
+  Time time_of(EventId id) const;
+
+  /// Tie-break sequence number of a pending event: among simultaneous
+  /// events the smaller sequence fires first.  Throws on unknown ids.
+  std::uint64_t sequence_of(EventId id) const;
+
+  /// Translate the clock: advance now() and every pending event by
+  /// `delta` (>= 0, finite).  Relative order and spacing are preserved;
+  /// handles stay valid.  This is the steady-state fast-forward primitive
+  /// (docs/PERFORMANCE.md).
+  void shift_time(Time delta);
+
  private:
+  struct Slot {
+    InlineAction action;
+    Time at = 0.0;
+    std::uint64_t seq = 0;
+    std::uint32_t generation = 1;
+    bool live = false;
+  };
   struct Entry {
     Time at;
+    std::uint64_t seq;
     EventId id;
-    bool operator>(const Entry& other) const {
-      if (at != other.at) return at > other.at;
-      return id > other.id;
+  };
+  // Min-heap comparator for std::push_heap/pop_heap (which build a
+  // max-heap, hence "later-first").
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
     }
   };
 
-  bool step();  // execute one event; false if queue empty
+  static std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  }
+  static std::uint32_t generation_of(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  const Slot* resolve(EventId id) const {
+    const std::uint32_t index = slot_of(id);
+    if (index >= slots_.size()) return nullptr;
+    const Slot& slot = slots_[index];
+    if (!slot.live || slot.generation != generation_of(id)) return nullptr;
+    return &slot;
+  }
+  Slot* resolve(EventId id) {
+    return const_cast<Slot*>(std::as_const(*this).resolve(id));
+  }
+
+  void release(EventId id);  // free a live slot (action destroyed)
+  bool step();               // execute one event; false if queue empty
+  void drop_min_entry();     // pop the heap root without executing
+  void maybe_compact();      // sweep tombstones when they dominate
 
   Time now_ = 0.0;
-  EventId next_id_ = 1;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  // Actions keyed by id; erased on execution/cancellation (tombstoning).
-  std::unordered_map<EventId, std::function<void()>> actions_;
+  std::uint64_t next_seq_ = 1;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<Entry> heap_;
   std::size_t pending_ = 0;
   std::uint64_t executed_ = 0;
 };

@@ -46,8 +46,14 @@ ResourceId FlowNetwork::in_port(NodeId node) const {
   return node_count_ + node;
 }
 
+void FlowNetwork::set_time_quantum(double quantum) {
+  CS_ENSURE(quantum >= 0.0 && std::isfinite(quantum),
+            "set_time_quantum: bad quantum");
+  quantum_ = quantum;
+}
+
 TransferId FlowNetwork::start_transfer(NodeId src, NodeId dst, double bytes,
-                                       std::function<void()> on_complete) {
+                                       InlineAction on_complete) {
   CS_ENSURE(src < node_count_ && dst < node_count_,
             "start_transfer: unknown node");
   CS_ENSURE(src != dst, "start_transfer: src == dst needs no transfer");
@@ -55,39 +61,52 @@ TransferId FlowNetwork::start_transfer(NodeId src, NodeId dst, double bytes,
                              std::move(on_complete));
 }
 
-TransferId FlowNetwork::start_transfer_over(
-    std::vector<ResourceId> resources, double bytes,
-    std::function<void()> on_complete) {
+TransferId FlowNetwork::start_transfer_over(std::vector<ResourceId> resources,
+                                            double bytes,
+                                            InlineAction on_complete) {
   CS_ENSURE(bytes >= 0.0, "start_transfer: negative size");
   for (ResourceId r : resources) {
     CS_ENSURE(r < capacity_.size(), "start_transfer: unknown resource");
   }
   advance_progress();
   const TransferId id = next_id_++;
-  flows_.emplace(
-      id, Flow{std::move(resources), bytes, 0.0, std::move(on_complete)});
+  // Ids are issued monotonically, so appending keeps flows_ sorted.
+  Flow flow;
+  flow.id = id;
+  flow.resources = std::move(resources);
+  flow.remaining = bytes;
+  flow.on_complete = std::move(on_complete);
+  flows_.push_back(std::move(flow));
   recompute_rates();
   schedule_completion();
   return id;
 }
 
+const FlowNetwork::Flow* FlowNetwork::find(TransferId id) const {
+  const auto it =
+      std::lower_bound(flows_.begin(), flows_.end(), id,
+                       [](const Flow& f, TransferId v) { return f.id < v; });
+  if (it == flows_.end() || it->id != id) return nullptr;
+  return &*it;
+}
+
 double FlowNetwork::current_rate(TransferId id) const {
-  const auto it = flows_.find(id);
-  return it == flows_.end() ? 0.0 : it->second.rate;
+  const Flow* flow = find(id);
+  return flow == nullptr ? 0.0 : flow->rate;
 }
 
 double FlowNetwork::remaining_bytes(TransferId id) const {
-  const auto it = flows_.find(id);
-  if (it == flows_.end()) return 0.0;
+  const Flow* flow = find(id);
+  if (flow == nullptr) return 0.0;
   // Account progress since the last rate change without mutating state.
   const double elapsed = engine_->now() - last_progress_;
-  return std::max(0.0, it->second.remaining - it->second.rate * elapsed);
+  return std::max(0.0, flow->remaining - flow->rate * elapsed);
 }
 
 void FlowNetwork::advance_progress() {
   const double elapsed = engine_->now() - last_progress_;
   if (elapsed > 0.0) {
-    for (auto& [id, flow] : flows_) {
+    for (Flow& flow : flows_) {
       if (flow.rate > 0.0 && std::isfinite(flow.rate)) {
         flow.remaining = std::max(0.0, flow.remaining - flow.rate * elapsed);
       }
@@ -98,12 +117,14 @@ void FlowNetwork::advance_progress() {
 
 void FlowNetwork::recompute_rates() {
   // Progressive filling: repeatedly saturate the resource with the
-  // smallest fair share and freeze its flows at that rate.
+  // smallest fair share and freeze its flows at that rate.  flows_ is
+  // visited in id order, so the arithmetic (and thus every resulting
+  // rate bit pattern) depends only on the flow state, never on hashing.
   std::vector<double> left = capacity_;
   std::vector<std::size_t> count(capacity_.size(), 0);
   std::vector<Flow*> open;
   open.reserve(flows_.size());
-  for (auto& [id, flow] : flows_) {
+  for (Flow& flow : flows_) {
     for (ResourceId r : flow.resources) ++count[r];
     open.push_back(&flow);
   }
@@ -155,7 +176,7 @@ void FlowNetwork::schedule_completion() {
   }
   if (flows_.empty()) return;
   double dt = FlowNetwork::infinity();
-  for (const auto& [id, flow] : flows_) {
+  for (const Flow& flow : flows_) {
     if (flow.remaining <= kFinishSlack) {
       dt = 0.0;
       break;
@@ -166,6 +187,11 @@ void FlowNetwork::schedule_completion() {
     }
   }
   CS_ASSERT(std::isfinite(dt), "active transfer with zero rate");
+  if (quantum_ > 0.0 && dt > 0.0) {
+    // Snap the completion onto the caller's time grid (rounding up: a
+    // transfer is never reported complete before its last byte landed).
+    dt = std::ceil(dt / quantum_) * quantum_;
+  }
   completion_event_ =
       engine_->schedule_in(dt, [this] { on_completion_event(); });
   completion_pending_ = true;
@@ -175,24 +201,19 @@ void FlowNetwork::on_completion_event() {
   completion_pending_ = false;
   advance_progress();
   // Collect finished flows first: callbacks may start new transfers.
-  std::vector<std::function<void()>> callbacks;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    Flow& flow = it->second;
+  std::vector<InlineAction> callbacks;
+  std::erase_if(flows_, [&](Flow& flow) {
     const bool done =
         flow.remaining <= kFinishSlack ||
         (std::isfinite(flow.rate) && flow.rate > 0.0 &&
          flow.remaining / flow.rate <= kFinishSlack) ||
         !std::isfinite(flow.rate);
-    if (done) {
-      callbacks.push_back(std::move(flow.on_complete));
-      it = flows_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+    if (done) callbacks.push_back(std::move(flow.on_complete));
+    return done;
+  });
   recompute_rates();
   schedule_completion();
-  for (auto& callback : callbacks) {
+  for (InlineAction& callback : callbacks) {
     if (callback) callback();
   }
 }

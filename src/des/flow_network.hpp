@@ -11,11 +11,14 @@
 // "all communications of a period happen simultaneously as long as
 // average bandwidth per interface is respected".  Rates are recomputed
 // whenever a transfer starts or finishes.
+//
+// Flows live in a flat vector kept sorted by (monotone) transfer id, so
+// rate recomputation visits them in a deterministic order: repeating the
+// same relative flow state reproduces bit-identical rates, which the
+// simulator's steady-state fast-forward relies on (docs/PERFORMANCE.md).
 
 #include <cstdint>
-#include <functional>
 #include <limits>
-#include <unordered_map>
 #include <vector>
 
 #include "des/engine.hpp"
@@ -46,17 +49,21 @@ class FlowNetwork {
   ResourceId out_port(NodeId node) const;
   ResourceId in_port(NodeId node) const;
 
+  /// Round every scheduled completion delay up to a multiple of `quantum`
+  /// engine-time units (0 disables).  The simulator sets its tick size so
+  /// all event times stay on an exactly-representable integer grid.
+  void set_time_quantum(double quantum);
+
   /// Begin moving `bytes` from `src` to `dst`; `on_complete` fires (via
   /// the engine) when the last byte arrives.  Zero-byte transfers complete
   /// at the current time (still asynchronously).
   TransferId start_transfer(NodeId src, NodeId dst, double bytes,
-                            std::function<void()> on_complete);
+                            InlineAction on_complete);
 
   /// Begin a transfer constrained by an explicit set of resources (e.g.
   /// {out_port(src), cross_chip_link, in_port(dst)}).
   TransferId start_transfer_over(std::vector<ResourceId> resources,
-                                 double bytes,
-                                 std::function<void()> on_complete);
+                                 double bytes, InlineAction on_complete);
 
   std::size_t active_transfers() const { return flows_.size(); }
 
@@ -66,14 +73,35 @@ class FlowNetwork {
   /// Bytes still in flight for a transfer; 0 if unknown id.
   double remaining_bytes(TransferId id) const;
 
+  // -- Fast-forward introspection / translation --------------------------
+  /// Engine time at which flow progress was last materialized; remaining
+  /// bytes reported by for_each_active are as of this instant.
+  Time last_progress_time() const { return last_progress_; }
+  /// The single pending completion event, if any (its engine sequence
+  /// number orders it against other pending events).
+  bool completion_pending() const { return completion_pending_; }
+  EventId completion_event() const { return completion_event_; }
+  /// Visit active flows in ascending id (= start) order:
+  /// fn(id, remaining_bytes_at_last_progress, rate).
+  template <typename Fn>
+  void for_each_active(Fn&& fn) const {
+    for (const Flow& flow : flows_) fn(flow.id, flow.remaining, flow.rate);
+  }
+  /// Clock-translation hook mirroring Engine::shift_time: the engine has
+  /// moved every pending event (including our completion event) forward
+  /// by `delta`; flow progress bookkeeping must follow.
+  void on_time_shift(Time delta) { last_progress_ += delta; }
+
  private:
   struct Flow {
+    TransferId id;
     std::vector<ResourceId> resources;
     double remaining;
     double rate = 0.0;
-    std::function<void()> on_complete;
+    InlineAction on_complete;
   };
 
+  const Flow* find(TransferId id) const;
   void advance_progress();   // apply elapsed time at current rates
   void recompute_rates();    // max-min fair allocation
   void schedule_completion();
@@ -82,8 +110,9 @@ class FlowNetwork {
   Engine* engine_;
   std::size_t node_count_ = 0;
   std::vector<double> capacity_;  // per resource
-  std::unordered_map<TransferId, Flow> flows_;
+  std::vector<Flow> flows_;       // sorted by id (ids issue monotonically)
   TransferId next_id_ = 1;
+  double quantum_ = 0.0;
   Time last_progress_ = 0.0;
   EventId completion_event_ = 0;
   bool completion_pending_ = false;

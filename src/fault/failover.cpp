@@ -124,6 +124,9 @@ FailoverOutcome run_with_failover(const SteadyStateAnalysis& analysis,
     sim::SimOptions single = options.sim;
     single.fault_plan = transient_ptr;
     single.instance_offset = 0;
+    // Failover scenarios must replay every event (fault windows and the
+    // drain frontier are instance-exact); never skip ahead.
+    single.fast_forward = false;
     out.result = sim::simulate(analysis, mapping, single);
     out.phases.push_back(out.result);
     out.phase_mappings.push_back(mapping);
@@ -142,6 +145,7 @@ FailoverOutcome run_with_failover(const SteadyStateAnalysis& analysis,
   phase1.instances = static_cast<std::size_t>(k);
   phase1.fault_plan = transient_ptr;
   phase1.instance_offset = 0;
+  phase1.fast_forward = false;  // replay every event around the failure
   sim::SimResult r1 = sim::simulate(analysis, mapping, phase1);
 
   // Remap on the reduced platform.
@@ -176,6 +180,7 @@ FailoverOutcome run_with_failover(const SteadyStateAnalysis& analysis,
   phase2.instances = static_cast<std::size_t>(n - k);
   phase2.fault_plan = transient_ptr;
   phase2.instance_offset = k;
+  phase2.fast_forward = false;  // replay every event around the failure
   sim::SimResult r2 = sim::simulate(analysis, out.post_mapping, phase2);
 
   out.result = stitch(r1, r2, out.downtime_seconds, k);

@@ -1,0 +1,68 @@
+#include "sim/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "support/error.hpp"
+
+namespace cellstream::sim {
+
+std::size_t default_batch_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void run_batch(std::size_t count, const std::function<void(std::size_t)>& job,
+               const BatchOptions& options) {
+  CS_ENSURE(job != nullptr, "run_batch: null job");
+  if (count == 0) return;
+  std::size_t threads =
+      options.threads == 0 ? default_batch_threads() : options.threads;
+  threads = std::min(threads, count);
+
+  if (threads <= 1) {
+    // Same contract as the pooled path: the batch runs to completion and
+    // the lowest-indexed failure (= the first, serially) is rethrown.
+    std::exception_ptr first;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        job(i);
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+    return;
+  }
+
+  // Work stealing by atomic ticket: long jobs don't serialize behind a
+  // static partition.  Failures are parked per index so the batch always
+  // completes and the rethrow below is deterministic.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(count);
+  const auto worker = [&next, &errors, &job, count] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        job(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (std::size_t t = 0; t + 1 < threads; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread pulls tickets too
+  for (std::thread& t : pool) t.join();
+
+  for (std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace cellstream::sim

@@ -1,0 +1,46 @@
+#pragma once
+// Thread-pool batcher for independent simulation scenarios.
+//
+// A simulation run is single-threaded and deterministic, so a sweep over
+// scenarios (benchmark points, fuzz cases, parameter grids) parallelizes
+// trivially: each job owns its index, derives everything it needs from it
+// (graph seed, mapping strategy, options), and writes its result into its
+// own slot.  Results are therefore identical to a serial loop regardless
+// of thread count or completion order — the property the TSan suite and
+// the fuzz driver's seed-ordered reporting rely on.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace cellstream::sim {
+
+struct BatchOptions {
+  /// Worker threads; 0 picks the hardware concurrency.  1 runs the jobs
+  /// inline on the calling thread (useful to bisect scheduling issues).
+  std::size_t threads = 0;
+};
+
+/// The thread count `BatchOptions::threads == 0` resolves to.
+std::size_t default_batch_threads();
+
+/// Run `job(0) .. job(count-1)`, each exactly once, across the pool.
+/// Jobs must not touch shared mutable state (their index is their world).
+/// If jobs throw, the batch still runs to completion and the exception of
+/// the lowest-indexed failed job is rethrown — deterministic, unlike
+/// first-to-fail.
+void run_batch(std::size_t count, const std::function<void(std::size_t)>& job,
+               const BatchOptions& options = {});
+
+/// run_batch with one result slot per job: returns {fn(0), ..., fn(count-1)}
+/// in index order.  Result must be default-constructible and movable.
+template <typename Result, typename Fn>
+std::vector<Result> run_batch_collect(std::size_t count, Fn&& fn,
+                                      const BatchOptions& options = {}) {
+  std::vector<Result> results(count);
+  run_batch(
+      count, [&results, &fn](std::size_t i) { results[i] = fn(i); }, options);
+  return results;
+}
+
+}  // namespace cellstream::sim

@@ -1,14 +1,17 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <limits>
 #include <optional>
-#include <set>
 #include <string>
+#include <utility>
 
 #include "des/engine.hpp"
 #include "des/flow_network.hpp"
 #include "fault/injector.hpp"
+#include "sim/landing_set.hpp"
 #include "support/strings.hpp"
 
 namespace cellstream::sim {
@@ -16,6 +19,32 @@ namespace cellstream::sim {
 namespace {
 
 using des::NodeId;
+
+// ---------------------------------------------------------------------------
+// Integer-nanosecond time grid.
+//
+// The engine clock runs in ticks of 1 ns, stored in a double.  Integer
+// values are exact in a double up to 2^53 (≈ 104 simulated days), so
+// sums and differences of event times are *exact*: when the scheduler
+// state repeats after a period, the whole future event timeline repeats
+// bit-identically, shifted by an exactly representable constant.  That is
+// what makes the steady-state fast-forward sound (docs/PERFORMANCE.md).
+// Durations under half a tick round to zero-length busy windows.
+// ---------------------------------------------------------------------------
+constexpr double kTicksPerSecond = 1e9;
+constexpr double kSecondsPerTick = 1e-9;
+
+double to_ticks(double seconds, const char* what) {
+  CS_ENSURE(std::isfinite(seconds) && seconds >= 0.0 &&
+                seconds * kTicksPerSecond < 9.0e15,
+            std::string("simulate: bad duration for ") + what);
+  return static_cast<double>(std::llround(seconds * kTicksPerSecond));
+}
+
+std::int64_t tick_delta(double later, double earlier) {
+  // Both operands are integer-valued doubles; the difference is exact.
+  return std::llround(later - earlier);
+}
 
 /// One unit of asynchronous communication a PE can initiate during its
 /// communication phase.
@@ -39,21 +68,30 @@ struct EdgeState {
   /// air (possible only under injected retry stalls).  The consumer reads
   /// its cyclic buffer in order, so data becomes *usable* only when the
   /// contiguous frontier reaches it.
-  std::set<std::int64_t> landed_ooo;
+  LandingSet landed_ooo;
 };
 
 struct TaskState {
   PeId pe = 0;
-  double work = 0.0;  // seconds per instance on its host
+  double work = 0.0;        // seconds per instance on its host
+  double work_ticks = 0.0;  // the same, on the event grid
   int peek = 0;
   std::int64_t next_instance = 0;
   // Main-memory streams (same frontier discipline as EdgeState).
   double read_bytes = 0.0;
   std::int64_t mem_fetched = 0, mem_issued = 0, mem_inflight = 0;
-  std::set<std::int64_t> mem_landed_ooo;
+  LandingSet mem_landed_ooo;
   double write_bytes = 0.0;
   std::int64_t writes_started = 0, writes_done = 0;
 };
+
+// Behavior tags for pending events, used by the periodicity signature:
+// a snapshot must describe not only the counters but what every pending
+// closure will *do* when it fires.
+constexpr std::uint64_t kTagIssue = 1ull << 60;
+constexpr std::uint64_t kTagCompute = 2ull << 60;
+constexpr std::uint64_t kTagWake = 3ull << 60;
+constexpr std::uint64_t kTagFlowCompletion = 4ull << 60;
 
 struct PeState {
   std::vector<TaskId> tasks;       // topological order
@@ -64,6 +102,27 @@ struct PeState {
   bool wake_scheduled = false;
   std::size_t gets_outstanding = 0;   // SPE MFC queue (<= spe_dma_slots)
   std::size_t proxy_outstanding = 0;  // PPE-issued reads from this SPE (<= 8)
+  // Pending-event attribution (periodicity snapshots).
+  des::EventId busy_event = 0;   // valid while busy
+  std::uint64_t busy_tag = 0;    // kTagIssue|channel or kTagCompute|task
+  des::EventId wake_event = 0;   // valid while wake_scheduled
+  // Accounting (folded into obs::Counters once, at the end of the run,
+  // so totals are independent of how many events actually executed —
+  // the fast-forward bit-identity requirement).
+  std::uint64_t issue_attempts = 0;  // DMA-issue overhead windows paid
+  double injected_seconds = 0.0;     // fault stalls booked as overhead
+  std::size_t mfc_peak = 0;
+  std::size_t proxy_peak = 0;
+};
+
+/// In-flight transfer identity.  Completion closures capture a slot index
+/// and read `inst` through it at fire time, so a fast-forward time shift
+/// updates the instance a pending completion will land (the closure itself
+/// cannot be rewritten once scheduled).
+struct InflightSlot {
+  std::uint32_t kind = 0;   // Channel::Kind
+  std::uint32_t index = 0;  // edge or task id
+  std::int64_t inst = 0;
 };
 
 class Simulator {
@@ -102,6 +161,15 @@ class Simulator {
       injector_.emplace(*opt_.fault_plan);
       hang_fired_.assign(opt_.fault_plan->hangs.size(), 0);
     }
+    dma_issue_ticks_ = to_ticks(opt_.dma_issue_overhead, "dma_issue_overhead");
+    dispatch_ticks_ = to_ticks(opt_.dispatch_overhead, "dispatch_overhead");
+    max_ticks_ = to_ticks(opt_.max_simulated_seconds, "max_simulated_seconds");
+    net_.set_time_quantum(1.0);  // completions snap to the tick grid
+    // Fast-forward is only sound when every event is periodic: traces
+    // must record each event, and injected faults are instance-keyed
+    // (aperiodic by design), so both force a full run.
+    ff_enabled_ = opt_.fast_forward && !opt_.record_trace && !injector_;
+    ff_info_.enabled = ff_enabled_;
     build_state();
     register_chip_links();
   }
@@ -111,8 +179,12 @@ class Simulator {
  private:
   des::FlowNetwork make_network() {
     const std::size_t n = platform_.pe_count();
-    std::vector<double> out_cap(n + 1, platform_.interface_bandwidth);
-    std::vector<double> in_cap(n + 1, platform_.interface_bandwidth);
+    // Port capacities are bytes per engine-time unit; the engine runs in
+    // ticks, so scale bytes/s down by the tick length.
+    std::vector<double> out_cap(n + 1,
+                                platform_.interface_bandwidth * kSecondsPerTick);
+    std::vector<double> in_cap(n + 1,
+                               platform_.interface_bandwidth * kSecondsPerTick);
     out_cap[n] = des::FlowNetwork::infinity();  // main memory
     in_cap[n] = des::FlowNetwork::infinity();
     return des::FlowNetwork(engine_, std::move(out_cap), std::move(in_cap));
@@ -122,7 +194,7 @@ class Simulator {
   void register_chip_links();
 
   des::TransferId start_edge_transfer(const EdgeState& e, PeId dst,
-                                      std::function<void()> done) {
+                                      des::InlineAction done) {
     if (platform_.chip_count > 1 && platform_.crosses_chips(e.src, dst)) {
       return net_.start_transfer_over(
           {net_.out_port(e.src), xchip_out_[platform_.chip_of(e.src)],
@@ -141,6 +213,17 @@ class Simulator {
   bool task_runnable(TaskId t) const;
   void complete_instance(TaskId t);
   void advance_done_counter(std::int64_t completed_instance);
+
+  // Steady-state fast-forward (docs/PERFORMANCE.md).
+  std::uint32_t alloc_inflight(Channel::Kind kind, std::size_t index,
+                               std::int64_t inst);
+  void bind_inflight(std::uint32_t slot, des::TransferId id);
+  std::int64_t finish_inflight(std::uint32_t slot);
+  const InflightSlot* find_inflight(des::TransferId id) const;
+  void maybe_snapshot(TaskId completing_task);
+  bool build_signature(std::vector<std::uint64_t>& sig, TaskId completing);
+  struct Snapshot;
+  void engage_fast_forward(const Snapshot& snap);
 
   std::int64_t stream_len() const {
     return static_cast<std::int64_t>(opt_.instances);
@@ -165,25 +248,58 @@ class Simulator {
   std::vector<TaskState> tasks_;
   std::vector<PeState> pes_;
 
+  double dma_issue_ticks_ = 0.0;
+  double dispatch_ticks_ = 0.0;
+  double max_ticks_ = 0.0;
+
   std::int64_t done_count_ = 0;
   std::int64_t tasks_at_done_ = 0;
-  std::vector<double> completion_times_;
-  // Unified telemetry (busy/overhead/bytes/queue peaks per PE, period
-  // timestamps) — the single source of truth for SimResult's accounting.
-  obs::Recorder recorder_;
+  std::vector<double> completion_ticks_;
   std::vector<TraceEvent> trace_;
 
   // Deterministic fault injection (engaged only when a plan is supplied).
   std::optional<fault::FaultInjector> injector_;
   std::vector<char> hang_fired_;  // one-shot latch per hang spec
   fault::FaultStats faults_;
+
+  // -- Fast-forward state -------------------------------------------------
+  struct Snapshot {
+    std::uint64_t hash = 0;
+    std::vector<std::uint64_t> sig;
+    std::int64_t done = 0;
+    double tick = 0.0;
+    std::vector<std::uint64_t> attempts;  // per-PE issue_attempts
+  };
+  // A cycle longer than this many instances is not detected (the window
+  // bounds snapshot memory); detection stops after kDetectLimit instances
+  // so aperiodic runs pay a bounded cost.
+  static constexpr std::size_t kSnapshotWindow = 64;
+  static constexpr std::int64_t kDetectLimit = 4096;
+
+  bool ff_enabled_ = false;
+  bool ff_done_ = false;
+  FastForwardInfo ff_info_;
+  std::vector<Snapshot> snapshots_;
+  std::int64_t last_snapshot_done_ = -1;
+  std::vector<std::uint64_t> sig_scratch_;
+  std::int64_t max_peek_ = 0;
+  // Slot slab for in-flight transfers plus the active set by id (ids
+  // issue monotonically, so `inflight_` stays sorted) — gives the
+  // signature a stable, instance-relative identity for every flow the
+  // network reports, and gives pending completions a handle whose `inst`
+  // a fast-forward shift can rewrite.
+  std::vector<InflightSlot> islots_;
+  std::vector<std::uint32_t> islot_free_;
+  std::vector<std::pair<des::TransferId, std::uint32_t>> inflight_;
 };
 
 void Simulator::register_chip_links() {
   if (platform_.chip_count <= 1) return;
   for (std::size_t chip = 0; chip < platform_.chip_count; ++chip) {
-    xchip_out_.push_back(net_.add_resource(platform_.cross_chip_bandwidth));
-    xchip_in_.push_back(net_.add_resource(platform_.cross_chip_bandwidth));
+    xchip_out_.push_back(net_.add_resource(platform_.cross_chip_bandwidth *
+                                           kSecondsPerTick));
+    xchip_in_.push_back(net_.add_resource(platform_.cross_chip_bandwidth *
+                                          kSecondsPerTick));
   }
 }
 
@@ -206,9 +322,11 @@ void Simulator::build_state() {
     TaskState& state = tasks_[t];
     state.pe = mapping_.pe_of(t);
     state.work = platform_.is_ppe(state.pe) ? task.wppe : task.wspe;
+    state.work_ticks = to_ticks(state.work, "task work");
     state.peek = task.peek;
     state.read_bytes = task.read_bytes;
     state.write_bytes = task.write_bytes;
+    max_peek_ = std::max(max_peek_, static_cast<std::int64_t>(task.peek));
     pes_[state.pe].tasks.push_back(t);
   }
 
@@ -230,17 +348,16 @@ void Simulator::build_state() {
     }
   }
 
-  completion_times_.assign(opt_.instances, 0.0);
+  completion_ticks_.assign(opt_.instances, 0.0);
   done_count_ = 0;
   tasks_at_done_ = static_cast<std::int64_t>(graph_.task_count());
-  recorder_.reset(platform_.pe_count(), obs::TimeDomain::kSimulated);
 }
 
 void Simulator::wake(PeId pe) {
   PeState& state = pes_[pe];
   if (state.busy || state.wake_scheduled) return;
   state.wake_scheduled = true;
-  engine_.schedule_in(0.0, [this, pe] {
+  state.wake_event = engine_.schedule_in(0.0, [this, pe] {
     pes_[pe].wake_scheduled = false;
     step(pe);
   });
@@ -255,17 +372,23 @@ void Simulator::step(PeId pe) {
   // background through the flow network).
   if (const std::optional<Channel> channel = find_issuable(pe)) {
     state.busy = true;
-    engine_.schedule_in(opt_.dma_issue_overhead, [this, pe, ch = *channel] {
-      PeState& s = pes_[pe];
-      s.busy = false;
-      recorder_.on_overhead(pe, opt_.dma_issue_overhead);
-      // Re-validate before enqueueing: between the decision and the end of
-      // the issue overhead another PE may have consumed the last shared
-      // queue slot (two PPEs racing for one SPE's 8-deep proxy stack).
-      // The core still paid the interruption; it simply retries.
-      if (channel_issuable(pe, ch)) issue(pe, ch);
-      step(pe);
-    });
+    state.busy_tag = kTagIssue |
+                     (static_cast<std::uint64_t>(channel->kind) << 32) |
+                     static_cast<std::uint64_t>(channel->index);
+    state.busy_event =
+        engine_.schedule_in(dma_issue_ticks_, [this, pe, ch = *channel] {
+          PeState& s = pes_[pe];
+          s.busy = false;
+          s.busy_tag = 0;
+          ++s.issue_attempts;
+          // Re-validate before enqueueing: between the decision and the
+          // end of the issue overhead another PE may have consumed the
+          // last shared queue slot (two PPEs racing for one SPE's 8-deep
+          // proxy stack).  The core still paid the interruption; it
+          // simply retries.
+          if (channel_issuable(pe, ch)) issue(pe, ch);
+          step(pe);
+        });
     return;
   }
 
@@ -292,31 +415,36 @@ void Simulator::step(PeId pe) {
         faults_.hang_seconds += stall;
       }
     }
+    const double injected_ticks = to_ticks(injected, "injected fault stall");
     const double duration =
-        opt_.dispatch_overhead + tasks_[*task].work + injected;
+        dispatch_ticks_ + tasks_[*task].work_ticks + injected_ticks;
     state.busy = true;
-    engine_.schedule_in(duration, [this, pe, t = *task, injected] {
-      PeState& s = pes_[pe];
-      s.busy = false;
-      recorder_.on_overhead(pe, opt_.dispatch_overhead + injected);
-      recorder_.on_execution(pe, tasks_[t].work);
-      if (opt_.record_trace) {
-        TraceEvent ev;
-        ev.kind = TraceEvent::Kind::kCompute;
-        ev.name = graph_.task(t).name;
-        ev.pe = pe;
-        ev.src_pe = pe;
-        // The window covers the whole processing of the instance, injected
-        // stall included, so per-PE windows never overlap (I6).
-        ev.start = engine_.now() - tasks_[t].work - injected;
-        ev.end = engine_.now();
-        ev.instance = tasks_[t].next_instance;
-        ev.task = static_cast<std::int64_t>(t);
-        trace_.push_back(std::move(ev));
-      }
-      complete_instance(t);
-      step(pe);
-    });
+    state.busy_tag = kTagCompute | static_cast<std::uint64_t>(*task);
+    state.busy_event = engine_.schedule_in(
+        duration, [this, pe, t = *task, injected, injected_ticks] {
+          PeState& s = pes_[pe];
+          s.busy = false;
+          s.busy_tag = 0;
+          s.injected_seconds += injected;
+          if (opt_.record_trace) {
+            TraceEvent ev;
+            ev.kind = TraceEvent::Kind::kCompute;
+            ev.name = graph_.task(t).name;
+            ev.pe = pe;
+            ev.src_pe = pe;
+            // The window covers the whole processing of the instance,
+            // injected stall included, so per-PE windows never overlap
+            // (I6).
+            ev.start = (engine_.now() - tasks_[t].work_ticks -
+                        injected_ticks) * kSecondsPerTick;
+            ev.end = engine_.now() * kSecondsPerTick;
+            ev.instance = tasks_[t].next_instance;
+            ev.task = static_cast<std::int64_t>(t);
+            trace_.push_back(std::move(ev));
+          }
+          complete_instance(t);
+          step(pe);
+        });
     return;
   }
   // Nothing to do: stay idle until an event wakes us.
@@ -373,10 +501,50 @@ std::optional<Channel> Simulator::find_issuable(PeId pe) {
   return std::nullopt;
 }
 
+std::uint32_t Simulator::alloc_inflight(Channel::Kind kind, std::size_t index,
+                                        std::int64_t inst) {
+  std::uint32_t slot;
+  if (!islot_free_.empty()) {
+    slot = islot_free_.back();
+    islot_free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(islots_.size());
+    islots_.emplace_back();
+  }
+  islots_[slot] = {static_cast<std::uint32_t>(kind),
+                   static_cast<std::uint32_t>(index), inst};
+  return slot;
+}
+
+void Simulator::bind_inflight(std::uint32_t slot, des::TransferId id) {
+  inflight_.emplace_back(id, slot);
+}
+
+std::int64_t Simulator::finish_inflight(std::uint32_t slot) {
+  // The set is tiny (bounded by the DMA queue depths).
+  for (auto it = inflight_.begin(); it != inflight_.end(); ++it) {
+    if (it->second == slot) {
+      inflight_.erase(it);
+      const std::int64_t inst = islots_[slot].inst;
+      islot_free_.push_back(slot);
+      return inst;
+    }
+  }
+  CS_ASSERT(false, "simulate: completed transfer was never registered");
+  return 0;
+}
+
+const InflightSlot* Simulator::find_inflight(des::TransferId id) const {
+  const auto it = std::lower_bound(
+      inflight_.begin(), inflight_.end(), id,
+      [](const auto& entry, des::TransferId v) { return entry.first < v; });
+  if (it == inflight_.end() || it->first != id) return nullptr;
+  return &islots_[it->second];
+}
+
 void Simulator::issue(PeId pe, const Channel& channel) {
   PeState& state = pes_[pe];
   const bool is_spe = platform_.is_spe(pe);
-  recorder_.on_transfer_issued(pe);
   switch (channel.kind) {
     case Channel::Kind::kEdgeFetch: {
       const EdgeId eid = channel.index;
@@ -385,11 +553,16 @@ void Simulator::issue(PeId pe, const Channel& channel) {
       const bool proxy = !is_spe && platform_.is_spe(e.src);
       if (is_spe) {
         ++state.gets_outstanding;
-        recorder_.on_mfc_queue_depth(pe, state.gets_outstanding);
+        if (state.gets_outstanding > state.mfc_peak) {
+          state.mfc_peak = state.gets_outstanding;
+        }
       }
       if (proxy) {
-        ++pes_[e.src].proxy_outstanding;
-        recorder_.on_proxy_queue_depth(e.src, pes_[e.src].proxy_outstanding);
+        PeState& src = pes_[e.src];
+        ++src.proxy_outstanding;
+        if (src.proxy_outstanding > src.proxy_peak) {
+          src.proxy_peak = src.proxy_outstanding;
+        }
       }
       const double t0 = engine_.now();
       const std::int64_t inst = e.issued;
@@ -404,21 +577,21 @@ void Simulator::issue(PeId pe, const Channel& channel) {
                           inst + opt_.instance_offset, &faults_.dma_retries)
                     : 0.0;
       auto launch = [this, eid, pe, proxy, t0, inst] {
-        start_edge_transfer(edges_[eid], pe, [this, eid, pe, proxy, t0, inst] {
+        const std::uint32_t slot =
+            alloc_inflight(Channel::Kind::kEdgeFetch, eid, inst);
+        const des::TransferId tid = start_edge_transfer(
+            edges_[eid], pe, [this, eid, pe, proxy, t0, slot] {
         EdgeState& edge = edges_[eid];
+        const std::int64_t inst = finish_inflight(slot);
         --edge.inflight;
         // Land the instance, then advance the contiguous frontier: under
         // injected retry stalls a later DMA can complete first, but the
         // consumer reads its cyclic buffer in order, so the data (and the
         // producer's slot) only unlock frontier-contiguously.
         edge.landed_ooo.insert(inst);
-        while (edge.landed_ooo.erase(edge.fetched) > 0) ++edge.fetched;
+        edge.fetched = edge.landed_ooo.advance_frontier(edge.fetched);
         if (platform_.is_spe(pe)) --pes_[pe].gets_outstanding;
         if (proxy) --pes_[edge.src].proxy_outstanding;
-        // Interface accounting: a remote edge crosses the producer's out
-        // interface and the consumer's in interface (constraints 1e/1f).
-        recorder_.on_bytes_out(edge.src, edge.bytes);
-        recorder_.on_bytes_in(pe, edge.bytes);
         if (opt_.record_trace) {
           const Edge& ge = graph_.edge(eid);
           TraceEvent ev;
@@ -427,8 +600,8 @@ void Simulator::issue(PeId pe, const Channel& channel) {
           ev.name = graph_.task(ge.from).name + "->" + graph_.task(ge.to).name;
           ev.pe = pe;
           ev.src_pe = edge.src;
-          ev.start = t0;
-          ev.end = engine_.now();
+          ev.start = t0 * kSecondsPerTick;
+          ev.end = engine_.now() * kSecondsPerTick;
           ev.instance = inst;
           ev.edge = static_cast<std::int64_t>(eid);
           trace_.push_back(std::move(ev));
@@ -436,10 +609,12 @@ void Simulator::issue(PeId pe, const Channel& channel) {
         wake(edge.src);  // output buffer slot freed
         wake(pe);        // input data available
         });
+        bind_inflight(slot, tid);
       };
       if (stall > 0.0) {
         faults_.backoff_seconds += stall;
-        engine_.schedule_in(stall, std::move(launch));
+        engine_.schedule_in(to_ticks(stall, "dma retry stall"),
+                            std::move(launch));
       } else {
         launch();
       }
@@ -451,7 +626,9 @@ void Simulator::issue(PeId pe, const Channel& channel) {
       ++t.mem_inflight;
       if (is_spe) {
         ++state.gets_outstanding;
-        recorder_.on_mfc_queue_depth(pe, state.gets_outstanding);
+        if (state.gets_outstanding > state.mfc_peak) {
+          state.mfc_peak = state.gets_outstanding;
+        }
       }
       const double t0 = engine_.now();
       const std::int64_t inst = t.mem_issued;
@@ -463,20 +640,19 @@ void Simulator::issue(PeId pe, const Channel& channel) {
                           &faults_.dma_retries)
                     : 0.0;
       auto launch_read = [this, tid, pe, t0, inst] {
-        net_.start_transfer(memory_node(), pe, tasks_[tid].read_bytes,
-                            [this, tid, pe, t0, inst] {
+        const std::uint32_t slot =
+            alloc_inflight(Channel::Kind::kMemRead, tid, inst);
+        const des::TransferId xid = net_.start_transfer(
+            memory_node(), pe, tasks_[tid].read_bytes,
+            [this, tid, pe, t0, slot] {
         TaskState& task = tasks_[tid];
+        const std::int64_t inst = finish_inflight(slot);
         --task.mem_inflight;
         // Same contiguous-frontier discipline as edge fetches: a stalled
         // read must not let a later one unlock this instance's compute.
         task.mem_landed_ooo.insert(inst);
-        while (task.mem_landed_ooo.erase(task.mem_fetched) > 0) {
-          ++task.mem_fetched;
-        }
+        task.mem_fetched = task.mem_landed_ooo.advance_frontier(task.mem_fetched);
         if (platform_.is_spe(pe)) --pes_[pe].gets_outstanding;
-        // A memory stream read enters through the reader's in interface
-        // (constraint 1g); main memory itself is unconstrained.
-        recorder_.on_bytes_in(pe, task.read_bytes);
         if (opt_.record_trace) {
           TraceEvent ev;
           ev.kind = TraceEvent::Kind::kTransfer;
@@ -484,18 +660,20 @@ void Simulator::issue(PeId pe, const Channel& channel) {
           ev.name = "read:" + graph_.task(tid).name;
           ev.pe = pe;
           ev.src_pe = pe;
-          ev.start = t0;
-          ev.end = engine_.now();
+          ev.start = t0 * kSecondsPerTick;
+          ev.end = engine_.now() * kSecondsPerTick;
           ev.instance = inst;
           ev.task = static_cast<std::int64_t>(tid);
           trace_.push_back(std::move(ev));
         }
         wake(pe);
         });
+        bind_inflight(slot, xid);
       };
       if (read_stall > 0.0) {
         faults_.backoff_seconds += read_stall;
-        engine_.schedule_in(read_stall, std::move(launch_read));
+        engine_.schedule_in(to_ticks(read_stall, "dma retry stall"),
+                            std::move(launch_read));
       } else {
         launch_read();
       }
@@ -507,7 +685,9 @@ void Simulator::issue(PeId pe, const Channel& channel) {
       ++t.writes_started;
       if (is_spe) {
         ++state.gets_outstanding;
-        recorder_.on_mfc_queue_depth(pe, state.gets_outstanding);
+        if (state.gets_outstanding > state.mfc_peak) {
+          state.mfc_peak = state.gets_outstanding;
+        }
       }
       const double t0 = engine_.now();
       const std::int64_t inst = t.writes_started - 1;
@@ -518,16 +698,15 @@ void Simulator::issue(PeId pe, const Channel& channel) {
                           &faults_.dma_retries)
                     : 0.0;
       auto launch_write = [this, tid, pe, t0, inst] {
-        net_.start_transfer(pe, memory_node(), tasks_[tid].write_bytes,
-                            [this, tid, pe, t0, inst] {
+        const std::uint32_t slot =
+            alloc_inflight(Channel::Kind::kMemWrite, tid, inst);
+        const des::TransferId xid = net_.start_transfer(
+            pe, memory_node(), tasks_[tid].write_bytes,
+            [this, tid, pe, t0, slot] {
         TaskState& task = tasks_[tid];
+        const std::int64_t inst = finish_inflight(slot);
         ++task.writes_done;
         if (platform_.is_spe(pe)) --pes_[pe].gets_outstanding;
-        // A memory stream write leaves through the writer's *out*
-        // interface (constraint 1h, the bounded-multiport model) — never
-        // through its in interface, and never through the consumer of
-        // some later read.
-        recorder_.on_bytes_out(pe, task.write_bytes);
         if (opt_.record_trace) {
           TraceEvent ev;
           ev.kind = TraceEvent::Kind::kTransfer;
@@ -535,18 +714,20 @@ void Simulator::issue(PeId pe, const Channel& channel) {
           ev.name = "write:" + graph_.task(tid).name;
           ev.pe = pe;
           ev.src_pe = pe;
-          ev.start = t0;
-          ev.end = engine_.now();
+          ev.start = t0 * kSecondsPerTick;
+          ev.end = engine_.now() * kSecondsPerTick;
           ev.instance = inst;
           ev.task = static_cast<std::int64_t>(tid);
           trace_.push_back(std::move(ev));
         }
         wake(pe);
         });
+        bind_inflight(slot, xid);
       };
       if (write_stall > 0.0) {
         faults_.backoff_seconds += write_stall;
-        engine_.schedule_in(write_stall, std::move(launch_write));
+        engine_.schedule_in(to_ticks(write_stall, "dma retry stall"),
+                            std::move(launch_write));
       } else {
         launch_write();
       }
@@ -612,6 +793,7 @@ void Simulator::complete_instance(TaskId tid) {
     edges_[e].consumed = i + 1;  // instances <= i are no longer needed
   }
   advance_done_counter(i);
+  maybe_snapshot(tid);
 }
 
 void Simulator::advance_done_counter(std::int64_t completed_instance) {
@@ -619,8 +801,7 @@ void Simulator::advance_done_counter(std::int64_t completed_instance) {
   if (completed_instance != done_count_) return;
   --tasks_at_done_;
   while (tasks_at_done_ == 0) {
-    completion_times_[done_count_] = engine_.now();
-    recorder_.on_instance_complete(engine_.now());
+    completion_ticks_[done_count_] = engine_.now();
     ++done_count_;
     if (done_count_ >= stream_len()) return;
     tasks_at_done_ = 0;
@@ -630,9 +811,263 @@ void Simulator::advance_done_counter(std::int64_t completed_instance) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Steady-state fast-forward.
+//
+// After each completed stream instance the simulator captures a relative
+// *signature* of the entire scheduler state: all counters expressed
+// relative to the done counter, every pending event's behavior tag,
+// relative fire time and tie-break order, and every in-flight transfer's
+// exact remaining-bytes/rate bit patterns.  Because event times live on
+// an exact integer grid and the flow network recomputes rates in a
+// deterministic order, two equal signatures prove the future evolution of
+// the run is identical up to a translation by (Δdone, Δticks).  The run
+// then jumps k periods in O(1): clocks and counters shift, completion
+// times of skipped instances are reconstructed by the same recurrence the
+// full run would have produced (exact integer arithmetic), and per-run
+// totals are derived from counters at the end — so the final stats are
+// bit-identical to the full simulation (differential rule D6).
+// ---------------------------------------------------------------------------
+
+void Simulator::maybe_snapshot(TaskId completing_task) {
+  if (!ff_enabled_ || ff_done_) return;
+  if (done_count_ <= last_snapshot_done_) return;  // no new instance boundary
+  last_snapshot_done_ = done_count_;
+  if (done_count_ >= stream_len()) return;
+  if (done_count_ > kDetectLimit) {
+    // Aperiodic (or a period beyond the window): stop paying for detection.
+    ff_done_ = true;
+    snapshots_.clear();
+    snapshots_.shrink_to_fit();
+    return;
+  }
+  if (!build_signature(sig_scratch_, completing_task)) return;
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a over the words
+  for (std::uint64_t w : sig_scratch_) {
+    hash ^= w;
+    hash *= 1099511628211ull;
+  }
+  for (const Snapshot& snap : snapshots_) {
+    if (snap.hash == hash && snap.sig == sig_scratch_) {
+      engage_fast_forward(snap);
+      return;
+    }
+  }
+  if (snapshots_.size() >= kSnapshotWindow) {
+    snapshots_.erase(snapshots_.begin());
+  }
+  Snapshot snap;
+  snap.hash = hash;
+  snap.sig = sig_scratch_;
+  snap.done = done_count_;
+  snap.tick = engine_.now();
+  snap.attempts.reserve(pes_.size());
+  for (const PeState& p : pes_) snap.attempts.push_back(p.issue_attempts);
+  snapshots_.push_back(std::move(snap));
+}
+
+bool Simulator::build_signature(std::vector<std::uint64_t>& sig,
+                                TaskId completing) {
+  sig.clear();
+  const double now_tick = engine_.now();
+  const std::int64_t d = done_count_;
+  const auto push = [&sig](std::uint64_t v) { sig.push_back(v); };
+  const auto push_i = [&push](std::int64_t v) {
+    push(static_cast<std::uint64_t>(v));
+  };
+  const auto push_bits = [&push](double v) {
+    push(std::bit_cast<std::uint64_t>(v));
+  };
+
+  // Control-flow context: we are inside `completing`'s finish event; the
+  // task id determines the PE whose step() runs next.
+  push_i(static_cast<std::int64_t>(completing));
+  push_i(tasks_at_done_);
+
+  // Counters that advance once per stream instance are encoded relative
+  // to the done counter (their offsets recur in the steady state); ones
+  // that never move — fetch/issue progress of local edges, memory-stream
+  // progress of tasks without that stream — are encoded absolutely, or
+  // the growing gap to `d` would make every signature unique.
+  for (const EdgeState& e : edges_) {
+    push_i(e.produced - d);
+    push_i(e.fetched - (e.remote ? d : 0));
+    push_i(e.issued - (e.remote ? d : 0));
+    push_i(e.consumed - d);
+    push_i(e.inflight);
+    push_i(static_cast<std::int64_t>(e.landed_ooo.size()));
+    e.landed_ooo.for_each([&](std::int64_t v) { push_i(v - d); });
+  }
+  for (const TaskState& t : tasks_) {
+    const std::int64_t rd = t.read_bytes > 0.0 ? d : 0;
+    const std::int64_t wd = t.write_bytes > 0.0 ? d : 0;
+    push_i(t.next_instance - d);
+    push_i(t.mem_fetched - rd);
+    push_i(t.mem_issued - rd);
+    push_i(t.mem_inflight);
+    push_i(t.writes_started - wd);
+    push_i(t.writes_done - wd);
+    push_i(static_cast<std::int64_t>(t.mem_landed_ooo.size()));
+    t.mem_landed_ooo.for_each([&](std::int64_t v) { push_i(v - d); });
+  }
+  for (const PeState& p : pes_) {
+    push(p.task_cursor);
+    push(p.channel_cursor);
+    push(static_cast<std::uint64_t>(p.busy) |
+         (static_cast<std::uint64_t>(p.wake_scheduled) << 1));
+    push(p.gets_outstanding);
+    push(p.proxy_outstanding);
+  }
+
+  // Pending engine events: behavior tag, relative fire tick, and their
+  // mutual (seq) order.  Every event the simulator can have in flight is
+  // attributed here; if the count disagrees with the engine some event
+  // escaped the model (e.g. a fault stall) and no snapshot is taken.
+  struct Ev {
+    std::uint64_t seq;
+    std::uint64_t tag;
+    std::int64_t dt;
+  };
+  std::vector<Ev> events;
+  events.reserve(pes_.size() * 2 + 1);
+  for (PeId pe = 0; pe < pes_.size(); ++pe) {
+    const PeState& p = pes_[pe];
+    if (p.busy) {
+      events.push_back({engine_.sequence_of(p.busy_event), p.busy_tag,
+                        tick_delta(engine_.time_of(p.busy_event), now_tick)});
+    }
+    if (p.wake_scheduled) {
+      events.push_back({engine_.sequence_of(p.wake_event),
+                        kTagWake | static_cast<std::uint64_t>(pe), 0});
+    }
+  }
+  if (net_.completion_pending()) {
+    events.push_back(
+        {engine_.sequence_of(net_.completion_event()), kTagFlowCompletion,
+         tick_delta(engine_.time_of(net_.completion_event()), now_tick)});
+  }
+  if (events.size() != engine_.pending()) return false;
+  std::sort(events.begin(), events.end(),
+            [](const Ev& a, const Ev& b) { return a.seq < b.seq; });
+  for (const Ev& ev : events) {
+    push(ev.tag);
+    push_i(ev.dt);
+  }
+
+  // Active flows in start order: relative identity plus the exact
+  // remaining/rate bit patterns (as of the network's last progress
+  // point, whose offset from now is appended below).
+  bool known = true;
+  net_.for_each_active(
+      [&](des::TransferId id, double remaining, double rate) {
+        const InflightSlot* tag = find_inflight(id);
+        if (tag == nullptr) {
+          known = false;
+          return;
+        }
+        push((static_cast<std::uint64_t>(tag->kind) << 32) | tag->index);
+        push_i(tag->inst - d);
+        push_bits(remaining);
+        push_bits(rate);
+      });
+  if (!known) return false;
+  push_i(tick_delta(now_tick, net_.last_progress_time()));
+  return true;
+}
+
+void Simulator::engage_fast_forward(const Snapshot& snap) {
+  const std::int64_t cycle_d = done_count_ - snap.done;
+  const double cycle_t = engine_.now() - snap.tick;
+  // Copy before snapshots_ (which owns `snap`) is released below.
+  const std::vector<std::uint64_t> attempts_at_snap = snap.attempts;
+  CS_ASSERT(cycle_d > 0 && cycle_t > 0.0, "fast-forward: degenerate cycle");
+  ff_done_ = true;  // one jump covers the whole steady state
+  ff_info_.cycle_instances = cycle_d;
+  ff_info_.cycle_seconds = cycle_t * kSecondsPerTick;
+  // Cross-check against the analytic steady state: the observed period
+  // can never beat the model's bound (rule D6 asserts ratio >= ~1).
+  const double model_period = ss_.period(mapping_);
+  ff_info_.model_period = model_period;
+  ff_info_.period_ratio =
+      model_period > 0.0
+          ? (cycle_t * kSecondsPerTick / static_cast<double>(cycle_d)) /
+                model_period
+          : 0.0;
+
+  // How many whole cycles fit before any counter's comparisons against
+  // the stream end change truth value?  Leave one cycle plus the peek and
+  // memory-stream lookahead as margin, so the post-jump run re-enters
+  // ordinary (still periodic) simulation well before the drain begins.
+  const std::int64_t margin =
+      cycle_d + max_peek_ + 1 +
+      static_cast<std::int64_t>(opt_.memory_stream_depth) + 1;
+  std::int64_t k = std::numeric_limits<std::int64_t>::max();
+  for (const TaskState& t : tasks_) {
+    const std::int64_t lead = std::max(t.next_instance, t.mem_issued);
+    k = std::min(k, (stream_len() - margin - lead) / cycle_d);
+  }
+  for (const EdgeState& e : edges_) {
+    const std::int64_t lead = std::max(e.produced, e.issued);
+    k = std::min(k, (stream_len() - margin - lead) / cycle_d);
+  }
+  snapshots_.clear();
+  snapshots_.shrink_to_fit();
+  if (k <= 0) return;  // stream too short for a safe jump
+
+  const std::int64_t skipped = k * cycle_d;
+  const double shift = static_cast<double>(k) * cycle_t;
+  engine_.shift_time(shift);
+  net_.on_time_shift(shift);
+  // Translate exactly the counters the signature encodes done-relative;
+  // ones pinned at zero (local edges, absent memory streams) stay put,
+  // as they would in the full run.
+  for (EdgeState& e : edges_) {
+    e.produced += skipped;
+    e.consumed += skipped;
+    if (e.remote) {
+      e.fetched += skipped;
+      e.issued += skipped;
+    }
+    e.landed_ooo.shift(skipped);
+  }
+  for (TaskState& t : tasks_) {
+    t.next_instance += skipped;
+    if (t.read_bytes > 0.0) {
+      t.mem_fetched += skipped;
+      t.mem_issued += skipped;
+    }
+    if (t.write_bytes > 0.0) {
+      t.writes_started += skipped;
+      t.writes_done += skipped;
+    }
+    t.mem_landed_ooo.shift(skipped);
+  }
+  for (PeId pe = 0; pe < pes_.size(); ++pe) {
+    const std::uint64_t per_cycle =
+        pes_[pe].issue_attempts - attempts_at_snap[pe];
+    pes_[pe].issue_attempts += static_cast<std::uint64_t>(k) * per_cycle;
+  }
+  // Pending transfer completions read their instance through the slot
+  // slab, so shifting here also shifts what they will land.
+  for (const auto& [id, slot] : inflight_) islots_[slot].inst += skipped;
+
+  // Completion times of the skipped instances obey the same recurrence
+  // the full run would have produced; the additions are exact (integer-
+  // valued doubles), so the reconstructed values are bit-identical.
+  const std::int64_t old_done = done_count_;
+  done_count_ += skipped;
+  for (std::int64_t m = old_done; m < old_done + skipped; ++m) {
+    completion_ticks_[m] = completion_ticks_[m - cycle_d] + cycle_t;
+  }
+
+  ff_info_.engaged = true;
+  ff_info_.skipped_cycles = k;
+  ff_info_.skipped_instances = skipped;
+}
+
 SimResult Simulator::run() {
   for (PeId pe = 0; pe < platform_.pe_count(); ++pe) wake(pe);
-  engine_.run_until(opt_.max_simulated_seconds);
+  engine_.run_until(max_ticks_);
   CS_ENSURE(done_count_ >= stream_len(),
             "simulate: stream did not finish within " +
                 format_number(opt_.max_simulated_seconds) +
@@ -641,7 +1076,10 @@ SimResult Simulator::run() {
                 "deadlock or overload");
 
   SimResult result;
-  result.completion_times = std::move(completion_times_);
+  result.completion_times.resize(opt_.instances);
+  for (std::size_t i = 0; i < opt_.instances; ++i) {
+    result.completion_times[i] = completion_ticks_[i] * kSecondsPerTick;
+  }
   result.makespan = result.completion_times.back();
   result.overall_throughput =
       static_cast<double>(opt_.instances) / result.makespan;
@@ -659,8 +1097,57 @@ SimResult Simulator::run() {
   } else {
     result.steady_throughput = result.overall_throughput;
   }
-  recorder_.set_elapsed(result.makespan);
-  result.counters = recorder_.take();
+
+  // Telemetry is derived from the integer progress counters in one fixed
+  // pass (task order, then edge order), never accumulated per event —
+  // the totals therefore do not depend on how many events actually
+  // executed, which is what makes fast-forwarded stats bit-identical.
+  obs::Counters& counters = result.counters;
+  counters.domain = obs::TimeDomain::kSimulated;
+  counters.pe.resize(platform_.pe_count());
+  for (TaskId t = 0; t < tasks_.size(); ++t) {
+    const TaskState& ts = tasks_[t];
+    obs::PeCounters& c = counters.pe[ts.pe];
+    const double executed = static_cast<double>(ts.next_instance);
+    c.tasks_executed += static_cast<std::uint64_t>(ts.next_instance);
+    c.compute_seconds += executed * ts.work;
+    c.overhead_seconds += executed * opt_.dispatch_overhead;
+    if (ts.read_bytes > 0.0) {
+      const double landed = static_cast<double>(
+          ts.mem_fetched + static_cast<std::int64_t>(ts.mem_landed_ooo.size()));
+      c.bytes_in += landed * ts.read_bytes;
+      c.transfers_issued += static_cast<std::uint64_t>(ts.mem_issued);
+    }
+    if (ts.write_bytes > 0.0) {
+      c.bytes_out += static_cast<double>(ts.writes_done) * ts.write_bytes;
+      c.transfers_issued += static_cast<std::uint64_t>(ts.writes_started);
+    }
+  }
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    const EdgeState& es = edges_[e];
+    if (!es.remote) continue;
+    // Interface accounting: a remote edge crosses the producer's out
+    // interface and the consumer's in interface (constraints 1e/1f);
+    // bytes count per completed landing, frontier-contiguous or not.
+    const double landed = static_cast<double>(
+        es.fetched + static_cast<std::int64_t>(es.landed_ooo.size()));
+    counters.pe[es.src].bytes_out += landed * es.bytes;
+    counters.pe[es.dst].bytes_in += landed * es.bytes;
+    counters.pe[es.dst].transfers_issued +=
+        static_cast<std::uint64_t>(es.issued);
+  }
+  for (PeId pe = 0; pe < platform_.pe_count(); ++pe) {
+    const PeState& p = pes_[pe];
+    obs::PeCounters& c = counters.pe[pe];
+    c.overhead_seconds +=
+        static_cast<double>(p.issue_attempts) * opt_.dma_issue_overhead +
+        p.injected_seconds;
+    c.mfc_queue_peak = p.mfc_peak;
+    c.proxy_queue_peak = p.proxy_peak;
+  }
+  counters.instance_completion = result.completion_times;
+  counters.elapsed_seconds = result.makespan;
+
   result.pe_busy_seconds.resize(platform_.pe_count());
   result.pe_overhead_seconds.resize(platform_.pe_count());
   for (PeId pe = 0; pe < platform_.pe_count(); ++pe) {
@@ -677,6 +1164,7 @@ SimResult Simulator::run() {
     result.edge_delivered[e] =
         edges_[e].remote ? edges_[e].fetched : edges_[e].produced;
   }
+  result.fast_forward = ff_info_;
   return result;
 }
 

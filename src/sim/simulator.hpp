@@ -20,6 +20,13 @@
 //     (firstPeriod differences), duplicated at both endpoints,
 //   * per-instance dispatch overhead (the source of the paper's ~5 %
 //     model-vs-measurement gap).
+//
+// All event times live on an integer-nanosecond grid (exact in a double up
+// to 2^53 ns), which makes the periodic steady state *exactly* periodic in
+// the float sense — the basis of the fast-forward optimization
+// (docs/PERFORMANCE.md): once the event pattern provably repeats over a
+// full period, the run skips ahead k periods in O(1) by translating clocks
+// and counters, with final stats bit-identical to the full simulation.
 
 #include <cstdint>
 #include <vector>
@@ -52,6 +59,14 @@ struct SimOptions {
   /// Record a full execution trace (see sim/trace.hpp).  Off by default:
   /// a 10k-instance run generates millions of events.
   bool record_trace = false;
+  /// Steady-state fast-forward: detect an exactly repeating event pattern
+  /// and skip ahead analytically (final stats stay bit-identical to a
+  /// full run — differential rule D6 in src/check/).  Auto-disabled when
+  /// record_trace is on (the trace must contain every event) or a fault
+  /// plan is active (injected faults are instance-keyed and aperiodic);
+  /// fuzz/fault runs and failover phases therefore always simulate every
+  /// event.
+  bool fast_forward = true;
   /// Optional deterministic fault scenario (see src/fault/): transient
   /// compute slowdowns, one-shot hangs and DMA retry/backoff delays are
   /// injected into the run; the extra time is accounted as overhead so
@@ -65,6 +80,23 @@ struct SimOptions {
   /// offset set to the drain frontier, so instance-keyed faults (DMA
   /// draws, slowdown windows) line up with the global stream position.
   std::int64_t instance_offset = 0;
+};
+
+/// Diagnostics of the steady-state fast-forward (docs/PERFORMANCE.md).
+struct FastForwardInfo {
+  bool enabled = false;   ///< Option on and not auto-disabled.
+  bool engaged = false;   ///< A cycle was detected and skipped.
+  std::int64_t cycle_instances = 0;  ///< Stream instances per cycle.
+  double cycle_seconds = 0.0;        ///< Simulated seconds per cycle.
+  std::int64_t skipped_cycles = 0;
+  std::int64_t skipped_instances = 0;
+  /// Cross-check against core/steady_state: the analytic period T and the
+  /// observed per-instance period divided by it.  The simulator can never
+  /// beat the bound, so the ratio is >= ~1; it is close to 1 when the
+  /// mapping's bottleneck behaves as modeled (dispatch overheads push it
+  /// a few percent up — the paper's ~5 % gap).
+  double model_period = 0.0;
+  double period_ratio = 0.0;
 };
 
 struct SimResult {
@@ -93,6 +125,8 @@ struct SimResult {
   /// the stream length on a complete run — invariant I8's raw material.
   std::vector<std::int64_t> edge_produced;
   std::vector<std::int64_t> edge_delivered;
+  /// What the steady-state fast-forward did (engaged=false on full runs).
+  FastForwardInfo fast_forward;
 
   /// Sliding-window throughput curve (the paper's Fig. 6): one sample per
   /// completed instance index multiple of `stride`, computed over the

@@ -1,0 +1,63 @@
+#include "support/parse.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace cellstream {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view what, std::string_view text,
+                       const char* reason) {
+  throw Error("invalid " + std::string(what) + " '" + std::string(text) +
+              "': " + reason);
+}
+
+}  // namespace
+
+std::uint64_t parse_u64(std::string_view text, std::string_view what) {
+  if (text.empty()) fail(what, text, "empty value");
+  // std::from_chars accepts no sign for unsigned types, but reject '+'
+  // and '-' explicitly for a clearer message than "trailing characters".
+  if (text.front() == '-') fail(what, text, "must be non-negative");
+  if (text.front() == '+') fail(what, text, "leading '+' not accepted");
+  std::uint64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value, 10);
+  if (ec == std::errc::result_out_of_range) {
+    fail(what, text, "out of range");
+  }
+  if (ec != std::errc() || ptr != end) {
+    fail(what, text, "not a whole number");
+  }
+  return value;
+}
+
+double parse_double(std::string_view text, std::string_view what) {
+  if (text.empty()) fail(what, text, "empty value");
+  double value = 0.0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec == std::errc::result_out_of_range) {
+    fail(what, text, "out of range");
+  }
+  if (ec != std::errc() || ptr != end) {
+    fail(what, text, "not a number");
+  }
+  if (!std::isfinite(value)) fail(what, text, "not finite");
+  return value;
+}
+
+double parse_non_negative_double(std::string_view text,
+                                 std::string_view what) {
+  const double value = parse_double(text, what);
+  if (value < 0.0) fail(what, text, "must be non-negative");
+  return value;
+}
+
+}  // namespace cellstream

@@ -1,0 +1,28 @@
+#pragma once
+// Checked string-to-number parsing for user-facing inputs (CLI arguments,
+// environment knobs).  Unlike std::atoi/std::atof these reject empty
+// strings, trailing junk ("1e4x", "12abc"), negative values where an
+// unsigned count is expected, and out-of-range magnitudes — with an error
+// message naming the offending value, so a typo fails the command instead
+// of silently becoming 0.
+
+#include <cstdint>
+#include <string_view>
+
+namespace cellstream {
+
+/// Parse a non-negative decimal integer.  Throws cellstream::Error on
+/// empty input, sign characters, trailing junk, or overflow.  `what`
+/// names the value in the error message (e.g. "instances").
+std::uint64_t parse_u64(std::string_view text, std::string_view what);
+
+/// Parse a finite floating-point number (decimal or scientific notation).
+/// Throws cellstream::Error on empty input, trailing junk, overflow, or
+/// non-finite results.
+double parse_double(std::string_view text, std::string_view what);
+
+/// parse_double restricted to values >= 0 (rates, ratios, sizes).
+double parse_non_negative_double(std::string_view text,
+                                 std::string_view what);
+
+}  // namespace cellstream

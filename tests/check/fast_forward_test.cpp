@@ -1,0 +1,165 @@
+// Differential rule D6: the simulator's steady-state fast-forward must be
+// a pure optimization — bit-identical final stats against the full run —
+// across the paper's worked example and a sweep of fuzzed (graph, mapping)
+// pairs, and it must stay out of the way when a fault plan makes the run
+// aperiodic (docs/PERFORMANCE.md).
+
+#include <gtest/gtest.h>
+
+#include "check/differential.hpp"
+#include "fault/fault_plan.hpp"
+#include "gen/daggen.hpp"
+#include "mapping/heuristics.hpp"
+#include "sim/simulator.hpp"
+
+namespace cellstream::check {
+namespace {
+
+TaskGraph worked_example() {
+  TaskGraph graph("paper-worked-example");
+  graph.add_task({"T0", 1.2e-3, 1.0e-3, 0, 0.0, 0.0, false});
+  graph.add_task({"T1", 1.5e-3, 0.6e-3, 0, 0.0, 0.0, false});
+  graph.add_task({"T2", 1.5e-3, 0.6e-3, 0, 0.0, 0.0, false});
+  graph.add_task({"T3", 1.5e-3, 0.9e-3, 0, 0.0, 0.0, false});
+  graph.add_task({"T4", 1.5e-3, 0.6e-3, 0, 0.0, 0.0, false});
+  graph.add_task({"T5", 1.5e-3, 0.6e-3, 0, 0.0, 0.0, false});
+  graph.add_edge(0, 1, 4096.0);
+  graph.add_edge(0, 2, 4096.0);
+  graph.add_edge(1, 3, 4096.0);
+  graph.add_edge(2, 3, 4096.0);
+  graph.add_edge(3, 4, 4096.0);
+  graph.add_edge(4, 5, 4096.0);
+  return graph;
+}
+
+TEST(FastForwardEquivalence, PaperWorkedExampleEngagesAndIsBitIdentical) {
+  const TaskGraph graph = worked_example();
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_single_cell());
+  const Mapping mapping = mapping::greedy_mem(analysis);
+  sim::SimOptions options;
+  options.instances = 2000;
+  bool engaged = false;
+  const std::vector<Violation> violations =
+      check_fast_forward_equivalence(analysis, mapping, options, &engaged);
+  for (const Violation& v : violations) ADD_FAILURE() << v.detail;
+  // The fully pipelined worked example is periodic from early on; a 2000
+  // instance stream leaves plenty of room for a jump.
+  EXPECT_TRUE(engaged);
+}
+
+TEST(FastForwardEquivalence, ReportsCycleDiagnosticsWhenEngaged) {
+  const TaskGraph graph = worked_example();
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_single_cell());
+  const Mapping mapping = mapping::greedy_mem(analysis);
+  sim::SimOptions options;
+  options.instances = 2000;
+  const sim::SimResult r = sim::simulate(analysis, mapping, options);
+  ASSERT_TRUE(r.fast_forward.enabled);
+  ASSERT_TRUE(r.fast_forward.engaged);
+  EXPECT_GT(r.fast_forward.cycle_instances, 0);
+  EXPECT_GT(r.fast_forward.cycle_seconds, 0.0);
+  EXPECT_GT(r.fast_forward.skipped_cycles, 0);
+  EXPECT_GT(r.fast_forward.skipped_instances, 0);
+  EXPECT_LT(r.fast_forward.skipped_instances,
+            static_cast<std::int64_t>(options.instances));
+  // Observed period never beats the analytic steady-state bound; with the
+  // default overheads it sits a few percent above it (the paper's gap).
+  EXPECT_DOUBLE_EQ(r.fast_forward.model_period,
+                   analysis.period(mapping));
+  EXPECT_GE(r.fast_forward.period_ratio, 0.999);
+  EXPECT_LT(r.fast_forward.period_ratio, 1.30);
+}
+
+TEST(FastForwardEquivalence, FiftyFuzzedPairsAreBitIdentical) {
+  // 50 (graph, mapping) pairs spanning task counts, CCR levels and both
+  // greedy strategies (falling back to ppe-only when infeasible), each
+  // checked bitwise against its full run.
+  const double ccrs[] = {0.775, 1.5, 2.3, 4.6};
+  const char* strategies[] = {"greedy-cpu", "greedy-mem", "ppe-only"};
+  int engaged_count = 0;
+  for (int i = 0; i < 50; ++i) {
+    gen::DagGenParams params;
+    params.task_count = 6 + (static_cast<std::size_t>(i) * 7) % 18;
+    params.seed = static_cast<std::uint64_t>(i) * 977 + 11;
+    TaskGraph graph = gen::daggen_random(params);
+    gen::set_ccr(graph, ccrs[i % 4]);
+    const SteadyStateAnalysis analysis(graph,
+                                       platforms::qs22_single_cell());
+    Mapping mapping = mapping::run_heuristic(strategies[i % 3], analysis);
+    if (!analysis.feasible(mapping)) {
+      mapping = mapping::ppe_only(analysis);
+    }
+    sim::SimOptions options;
+    options.instances = 700;
+    bool engaged = false;
+    const std::vector<Violation> violations =
+        check_fast_forward_equivalence(analysis, mapping, options, &engaged);
+    for (const Violation& v : violations) {
+      ADD_FAILURE() << "pair " << i << " (" << strategies[i % 3] << ", ccr "
+                    << ccrs[i % 4] << "): " << v.detail;
+    }
+    engaged_count += engaged ? 1 : 0;
+  }
+  // Bit-identity must hold regardless, but the optimization would be
+  // pointless if it never fired: most steady pipelines must engage.
+  EXPECT_GE(engaged_count, 25) << "fast-forward engaged on too few pairs";
+}
+
+TEST(FastForwardEquivalence, MidStreamFaultPlanDisablesFastForward) {
+  const TaskGraph graph = worked_example();
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_single_cell());
+  const Mapping mapping = mapping::greedy_mem(analysis);
+
+  fault::FaultPlan plan;
+  fault::Slowdown slowdown;
+  slowdown.pe = mapping.pe_of(0);
+  slowdown.from_instance = 900;
+  slowdown.to_instance = 950;
+  slowdown.factor = 3.0;
+  plan.slowdowns.push_back(slowdown);
+
+  sim::SimOptions options;
+  options.instances = 2000;
+  options.fast_forward = true;  // explicitly requested, still refused
+  options.fault_plan = &plan;
+  const sim::SimResult r = sim::simulate(analysis, mapping, options);
+  EXPECT_FALSE(r.fast_forward.enabled);
+  EXPECT_FALSE(r.fast_forward.engaged);
+  EXPECT_EQ(r.fast_forward.skipped_instances, 0);
+  // The injected mid-stream stall actually happened — every event was
+  // simulated, nothing was skipped over the fault window.
+  EXPECT_GT(r.faults.slowdown_seconds, 0.0);
+
+  // The D6 checker refuses a vacuous comparison outright.
+  EXPECT_THROW(
+      check_fast_forward_equivalence(analysis, mapping, options, nullptr),
+      Error);
+}
+
+TEST(FastForwardEquivalence, TraceRunsDisableFastForward) {
+  const TaskGraph graph = worked_example();
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_single_cell());
+  const Mapping mapping = mapping::greedy_mem(analysis);
+  sim::SimOptions options;
+  options.instances = 500;
+  options.record_trace = true;
+  const sim::SimResult r = sim::simulate(analysis, mapping, options);
+  EXPECT_FALSE(r.fast_forward.enabled);
+  EXPECT_FALSE(r.fast_forward.engaged);
+  EXPECT_FALSE(r.trace.empty());
+}
+
+TEST(FastForwardEquivalence, OptOutFlagForcesFullSimulation) {
+  const TaskGraph graph = worked_example();
+  const SteadyStateAnalysis analysis(graph, platforms::qs22_single_cell());
+  const Mapping mapping = mapping::greedy_mem(analysis);
+  sim::SimOptions options;
+  options.instances = 1500;
+  options.fast_forward = false;
+  const sim::SimResult r = sim::simulate(analysis, mapping, options);
+  EXPECT_FALSE(r.fast_forward.enabled);
+  EXPECT_FALSE(r.fast_forward.engaged);
+}
+
+}  // namespace
+}  // namespace cellstream::check

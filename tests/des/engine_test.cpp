@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 namespace cellstream::des {
@@ -117,6 +119,99 @@ TEST(Engine, PendingCountsOnlyLiveEvents) {
   EXPECT_EQ(e.pending(), 2u);
   e.cancel(a);
   EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, RunUntilFiresEventsExactlyAtTheBoundary) {
+  Engine e;
+  bool at_boundary = false, after_boundary = false;
+  e.schedule_at(3.0, [&] { at_boundary = true; });
+  e.schedule_at(3.0 + 1e-9, [&] { after_boundary = true; });
+  e.run_until(3.0);
+  EXPECT_TRUE(at_boundary);
+  EXPECT_FALSE(after_boundary);
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, RunUntilInThePastNeverMovesNowBackwards) {
+  Engine e;
+  e.schedule_at(5.0, [] {});
+  e.run();
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+  e.run_until(2.0);  // no-op, not an error, not a clock rewind
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+  bool fired = false;
+  e.schedule_at(6.0, [&] { fired = true; });
+  e.run_until(1.0);
+  EXPECT_FALSE(fired);
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+  e.run_until(6.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, RejectsNonFiniteTimes) {
+  Engine e;
+  const double nan = std::nan("");
+  EXPECT_THROW(e.schedule_at(nan, [] {}), Error);
+  EXPECT_THROW(e.schedule_in(nan, [] {}), Error);
+  EXPECT_THROW(e.schedule_at(std::numeric_limits<double>::infinity(), [] {}),
+               Error);
+  EXPECT_THROW(e.schedule_at(-1.0, [] {}), Error);
+  EXPECT_EQ(e.pending(), 0u);  // nothing half-registered by the rejects
+}
+
+TEST(Engine, ShiftTimePreservesOrderSpacingAndHandles) {
+  Engine e;
+  std::vector<int> order;
+  const EventId a = e.schedule_at(1.0, [&] { order.push_back(1); });
+  const EventId b = e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.schedule_at(2.0, [&] { order.push_back(3); });  // same-time tie
+  e.shift_time(10.0);
+  EXPECT_DOUBLE_EQ(e.now(), 10.0);
+  EXPECT_DOUBLE_EQ(e.time_of(a), 11.0);
+  EXPECT_DOUBLE_EQ(e.time_of(b), 12.0);
+  EXPECT_TRUE(e.is_pending(a));
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 12.0);
+}
+
+TEST(Engine, StaleHandleAfterSlotReuseIsIgnored) {
+  Engine e;
+  const EventId a = e.schedule_at(1.0, [] {});
+  e.cancel(a);  // frees the slot
+  bool fired = false;
+  const EventId b = e.schedule_at(1.0, [&] { fired = true; });
+  // `a`'s slot may have been recycled into `b`; the stale handle must not
+  // resolve to (or cancel) the new event.
+  EXPECT_FALSE(e.is_pending(a));
+  e.cancel(a);
+  EXPECT_TRUE(e.is_pending(b));
+  e.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, CancelHeavyLoadCompactsTombstones) {
+  // Schedule and cancel far more events than survive: the lazy sweep must
+  // keep the heap bounded by the live population, and the survivors must
+  // still fire in order.
+  Engine e;
+  std::vector<int> order;
+  std::vector<EventId> doomed;
+  for (int round = 0; round < 200; ++round) {
+    for (int j = 0; j < 16; ++j) {
+      doomed.push_back(
+          e.schedule_at(1000.0 + round, [] { FAIL() << "cancelled event ran"; }));
+    }
+    for (const EventId id : doomed) e.cancel(id);
+    doomed.clear();
+  }
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(e.pending(), 2u);
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(e.executed(), 2u);
 }
 
 }  // namespace

@@ -1,0 +1,89 @@
+#include "sim/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace cellstream::sim {
+namespace {
+
+TEST(Batch, RunsEveryJobExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{3}, std::size_t{64}}) {
+    std::vector<std::atomic<int>> hits(100);
+    BatchOptions options;
+    options.threads = threads;
+    run_batch(hits.size(),
+              [&hits](std::size_t i) {
+                hits[i].fetch_add(1, std::memory_order_relaxed);
+              },
+              options);
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "job " << i << ", " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(Batch, CollectReturnsResultsInIndexOrderAtAnyThreadCount) {
+  const auto square = [](std::size_t i) {
+    return static_cast<int>(i * i);
+  };
+  const std::vector<int> serial = run_batch_collect<int>(50, square,
+                                                         BatchOptions{1});
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{2},
+                                    std::size_t{7}}) {
+    EXPECT_EQ(run_batch_collect<int>(50, square, BatchOptions{threads}),
+              serial);
+  }
+}
+
+TEST(Batch, ZeroJobsIsANoop) {
+  bool ran = false;
+  run_batch(0, [&ran](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(run_batch_collect<int>(0, [](std::size_t) { return 1; }).empty());
+}
+
+TEST(Batch, RethrowsTheLowestIndexedFailureAfterCompletion) {
+  // Every job still runs (the batch never short-circuits), and the
+  // exception that surfaces is deterministic: the smallest failing index,
+  // not whichever thread faulted first.
+  std::vector<std::atomic<int>> hits(40);
+  const auto job = [&hits](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+    if (i % 10 == 7) {
+      throw Error("job " + std::to_string(i) + " failed");
+    }
+  };
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (auto& h : hits) h.store(0);
+    BatchOptions options;
+    options.threads = threads;
+    try {
+      run_batch(hits.size(), job, options);
+      FAIL() << "batch with failing jobs did not throw";
+    } catch (const Error& e) {
+      EXPECT_STREQ(e.what(), "job 7 failed");
+    }
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "job " << i;
+    }
+  }
+}
+
+TEST(Batch, DefaultThreadCountIsPositive) {
+  EXPECT_GE(default_batch_threads(), 1u);
+}
+
+TEST(Batch, NullJobIsRejected) {
+  EXPECT_THROW(run_batch(3, nullptr), Error);
+}
+
+}  // namespace
+}  // namespace cellstream::sim

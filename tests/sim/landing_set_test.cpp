@@ -1,0 +1,82 @@
+#include "sim/landing_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace cellstream::sim {
+namespace {
+
+std::vector<std::int64_t> contents(const LandingSet& s) {
+  std::vector<std::int64_t> v;
+  s.for_each([&v](std::int64_t x) { v.push_back(x); });
+  return v;
+}
+
+TEST(LandingSet, StartsEmpty) {
+  LandingSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.advance_frontier(7), 7);  // nothing parked at the frontier
+}
+
+TEST(LandingSet, KeepsValuesSortedRegardlessOfInsertOrder) {
+  LandingSet s;
+  s.insert(5);
+  s.insert(3);
+  s.insert(9);
+  s.insert(4);
+  EXPECT_EQ(contents(s), (std::vector<std::int64_t>{3, 4, 5, 9}));
+}
+
+TEST(LandingSet, AdvanceFrontierConsumesOnlyTheContiguousRun) {
+  LandingSet s;
+  // Out-of-order landings 2,3 parked while 1 is still in the air.
+  s.insert(2);
+  s.insert(3);
+  EXPECT_EQ(s.advance_frontier(1), 1);  // 1 hasn't landed: nothing unlocks
+  s.insert(1);
+  s.insert(6);
+  EXPECT_EQ(s.advance_frontier(1), 4);  // 1,2,3 drain; 6 stays parked
+  EXPECT_EQ(contents(s), (std::vector<std::int64_t>{6}));
+  s.insert(4);
+  s.insert(5);
+  EXPECT_EQ(s.advance_frontier(4), 7);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(LandingSet, DuplicateLandingIsAnAccountingBug) {
+  LandingSet s;
+  s.insert(10);
+  EXPECT_THROW(s.insert(10), Error);
+}
+
+TEST(LandingSet, ShiftTranslatesParkedValues) {
+  LandingSet s;
+  s.insert(3);
+  s.insert(5);
+  s.shift(100);
+  EXPECT_EQ(contents(s), (std::vector<std::int64_t>{103, 105}));
+  s.insert(104);
+  EXPECT_EQ(s.advance_frontier(103), 106);
+}
+
+TEST(LandingSet, LongDrainDoesNotAccumulateConsumedPrefix) {
+  // Endless retry-stall runs insert and drain forever; the consumed
+  // prefix must be reclaimed, not grow without bound.  Interleave
+  // out-of-order pairs so the set is continuously non-empty.
+  LandingSet s;
+  std::int64_t frontier = 0;
+  for (std::int64_t i = 0; i < 10000; i += 2) {
+    s.insert(i + 1);
+    s.insert(i);
+    frontier = s.advance_frontier(frontier);
+    EXPECT_EQ(frontier, i + 2);
+  }
+  EXPECT_TRUE(s.empty());
+}
+
+}  // namespace
+}  // namespace cellstream::sim

@@ -1,0 +1,69 @@
+#include "support/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace cellstream {
+namespace {
+
+std::string error_of(const std::function<void()>& f) {
+  try {
+    f();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(ParseU64, AcceptsPlainDecimals) {
+  EXPECT_EQ(parse_u64("0", "n"), 0u);
+  EXPECT_EQ(parse_u64("42", "n"), 42u);
+  EXPECT_EQ(parse_u64("18446744073709551615", "n"),
+            18446744073709551615ull);
+}
+
+TEST(ParseU64, RejectsJunkSignsAndOverflow) {
+  EXPECT_THROW(parse_u64("", "n"), Error);
+  EXPECT_THROW(parse_u64("12abc", "n"), Error);
+  EXPECT_THROW(parse_u64("1 ", "n"), Error);
+  EXPECT_THROW(parse_u64(" 1", "n"), Error);
+  EXPECT_THROW(parse_u64("-1", "n"), Error);
+  EXPECT_THROW(parse_u64("+1", "n"), Error);
+  EXPECT_THROW(parse_u64("1.5", "n"), Error);
+  EXPECT_THROW(parse_u64("18446744073709551616", "n"), Error);  // 2^64
+  EXPECT_THROW(parse_u64("0x10", "n"), Error);
+}
+
+TEST(ParseU64, ErrorNamesTheValueAndOffendingText) {
+  const std::string msg = error_of([] { parse_u64("12abc", "instances"); });
+  EXPECT_NE(msg.find("instances"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("12abc"), std::string::npos) << msg;
+}
+
+TEST(ParseDouble, AcceptsDecimalAndScientific) {
+  EXPECT_DOUBLE_EQ(parse_double("1.5", "x"), 1.5);
+  EXPECT_DOUBLE_EQ(parse_double("-2", "x"), -2.0);
+  EXPECT_DOUBLE_EQ(parse_double("2.5e-3", "x"), 2.5e-3);
+  EXPECT_DOUBLE_EQ(parse_double("0", "x"), 0.0);
+}
+
+TEST(ParseDouble, RejectsJunkAndNonFinite) {
+  EXPECT_THROW(parse_double("", "x"), Error);
+  EXPECT_THROW(parse_double("1e4x", "x"), Error);
+  EXPECT_THROW(parse_double("1.5.2", "x"), Error);
+  EXPECT_THROW(parse_double("1e999", "x"), Error);   // overflows to inf
+  EXPECT_THROW(parse_double("nan", "x"), Error);
+  EXPECT_THROW(parse_double("inf", "x"), Error);
+}
+
+TEST(ParseNonNegativeDouble, RejectsNegatives) {
+  EXPECT_DOUBLE_EQ(parse_non_negative_double("0.775", "ccr"), 0.775);
+  EXPECT_THROW(parse_non_negative_double("-0.1", "ccr"), Error);
+}
+
+}  // namespace
+}  // namespace cellstream
